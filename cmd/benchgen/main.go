@@ -1,0 +1,83 @@
+// Command benchgen emits the synthetic benchmark instances used by the
+// paper reproduction as DIMACS files.
+//
+// Usage:
+//
+//	benchgen -suite table2 -dir ./bench        # the 14 Table II instances
+//	benchgen -suite fig2 -dir ./bench          # the 60-instance Fig. 2 suite
+//	benchgen -suite small -dir ./bench         # fast 4-instance smoke suite
+//	benchgen -family or -inputs 80 -groups 6   # one custom instance to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchgen"
+)
+
+func main() {
+	var (
+		suite  = flag.String("suite", "", "emit a whole suite: table2 | fig2 | small")
+		dir    = flag.String("dir", ".", "output directory for -suite")
+		family = flag.String("family", "", "single instance family: or | qchain | iscas | prod")
+		inputs = flag.Int("inputs", 50, "primary inputs (or/iscas/prod)")
+		groups = flag.Int("groups", 4, "output groups (or) / segments (qchain) / outputs (iscas) / copies (prod)")
+		gates  = flag.Int("gates", 600, "gate count (iscas)")
+		chain  = flag.Int("chain", 20, "chain length (qchain)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *suite != "" {
+		var ins []*benchgen.Instance
+		switch *suite {
+		case "table2":
+			ins = benchgen.Table2Instances()
+		case "fig2":
+			ins = benchgen.Suite60()
+		case "small":
+			ins = benchgen.SmallSuite()
+		default:
+			fatal(fmt.Errorf("unknown suite %q", *suite))
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, in := range ins {
+			path := filepath.Join(*dir, in.Name+".cnf")
+			if err := in.Formula.WriteDIMACSFile(path, in.String()); err != nil {
+				fatal(err)
+			}
+			fmt.Println(in)
+		}
+		return
+	}
+
+	var in *benchgen.Instance
+	switch *family {
+	case "or":
+		in = benchgen.OrChain("custom-or", *inputs, *groups, *seed)
+	case "qchain":
+		in = benchgen.QChain("custom-q", *groups, *chain, *seed)
+	case "iscas":
+		in = benchgen.Iscas("custom-iscas", *inputs, *gates, *groups, *seed)
+	case "prod":
+		in = benchgen.Prod("custom-prod", *inputs, *groups, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "benchgen: need -suite or -family")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := in.Formula.WriteDIMACS(os.Stdout, in.String()); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, in)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section on the synthetic benchmark suite:
+//
+//	paperbench -exp table2            # Table II: throughput, 14 instances
+//	paperbench -exp fig2              # Fig. 2: latency vs unique solutions, 60 instances
+//	paperbench -exp fig3              # Fig. 3: learning curve + memory model
+//	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
+//	paperbench -exp all               # everything
+//
+// Flags -target, -timeout, -workers scale effort; the defaults finish in
+// minutes rather than the paper's 2-hour timeouts (see EXPERIMENTS.md).
+// -csv switches the output to CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/harness"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | all")
+		target  = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		small   = flag.Bool("small", false, "use the fast 4-instance smoke suite")
+	)
+	flag.Parse()
+
+	dev := tensor.Parallel()
+	if *workers > 0 {
+		dev = tensor.ParallelN(*workers)
+	}
+	opt := harness.RunOptions{Target: *target, Timeout: *timeout, Device: dev}
+
+	table2Set := benchgen.Table2Instances
+	fig2Set := benchgen.Suite60
+	figSet := benchgen.Fig4Instances
+	if *small {
+		table2Set = benchgen.SmallSuite
+		fig2Set = benchgen.SmallSuite
+		figSet = benchgen.SmallSuite
+	}
+
+	switch *exp {
+	case "table2":
+		runTable2(table2Set(), opt, *csv)
+	case "fig2":
+		runFig2(fig2Set(), opt, *csv)
+	case "fig3":
+		runFig3(figSet(), opt)
+	case "fig4":
+		runFig4(figSet(), opt)
+	case "all":
+		runTable2(table2Set(), opt, *csv)
+		fmt.Println()
+		runFig2(fig2Set(), opt, *csv)
+		fmt.Println()
+		runFig3(figSet(), opt)
+		fmt.Println()
+		runFig4(figSet(), opt)
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+	fmt.Printf("== Table II: unique-solution throughput (target %d, timeout %v) ==\n\n",
+		opt.Target, opt.Timeout)
+	rows := harness.RunTable2(ins, opt)
+	if csv {
+		harness.RenderTable2CSV(os.Stdout, rows)
+		return
+	}
+	harness.RenderTable2(os.Stdout, rows)
+}
+
+func runFig2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+	fmt.Printf("== Fig. 2: latency vs unique solutions (%d instances) ==\n\n", len(ins))
+	pts := harness.RunFig2(ins, []int{10, 100, 1000}, opt)
+	if csv {
+		harness.RenderFig2CSV(os.Stdout, pts)
+		return
+	}
+	harness.RenderFig2(os.Stdout, pts)
+}
+
+func runFig3(ins []*benchgen.Instance, opt harness.RunOptions) {
+	fmt.Println("== Fig. 3: learning dynamics and memory scaling ==")
+	fmt.Println()
+	res := harness.RunFig3(ins, 10, []int{100, 1000, 10000, 100000, 1000000}, opt)
+	harness.RenderFig3(os.Stdout, res)
+}
+
+func runFig4(ins []*benchgen.Instance, opt harness.RunOptions) {
+	fmt.Println("== Fig. 4: device ablation, ops reduction, transformation time ==")
+	fmt.Println()
+	rows := harness.RunFig4(ins, opt)
+	harness.RenderFig4(os.Stdout, rows)
+}

@@ -1,0 +1,58 @@
+// Compare: run all four samplers (this work's GD sampler plus the three
+// baselines) head-to-head on one benchmark instance and print a Table
+// II-style row — a minimal version of cmd/paperbench for a single instance.
+//
+// Run: go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/benchgen"
+	"repro/internal/harness"
+	"repro/internal/tensor"
+)
+
+func main() {
+	in := benchgen.OrChain("or-50-10-7-UC-10", 50, 4, 5010)
+	fmt.Println(in)
+	fmt.Println()
+
+	const (
+		target  = 500
+		timeout = 5 * time.Second
+	)
+	opt := harness.RunOptions{Target: target, Timeout: timeout, Device: tensor.Parallel()}
+
+	samplers := []baselines.Sampler{
+		mustCore(in, opt),
+		baselines.NewUniGenLike(in.Formula, 1).WithSamplingSet(in.Enc.InputVar),
+		baselines.NewCMSGenLike(in.Formula, 1),
+		baselines.NewDiffSampler(in.Formula, 1, tensor.Parallel()),
+	}
+
+	fmt.Printf("%-14s %10s %12s %12s %8s\n", "sampler", "unique", "elapsed", "sol/s", "valid")
+	for _, s := range samplers {
+		st := s.Sample(target, timeout)
+		valid := true
+		for _, m := range s.Solutions() {
+			if !in.Formula.Sat(m) {
+				valid = false
+			}
+		}
+		fmt.Printf("%-14s %10d %12v %12.1f %8v\n",
+			s.Name(), st.Unique, st.Elapsed.Round(time.Millisecond), st.Throughput(), valid)
+	}
+}
+
+func mustCore(in *benchgen.Instance, opt harness.RunOptions) baselines.Sampler {
+	s, err := harness.NewCoreSampler(in.Formula, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+// Package baselines implements the three comparison samplers from the
+// paper's evaluation, re-created on this repository's substrates:
+//
+//   - CMSGenLike: a randomized-CDCL sampler in the spirit of CMSGen
+//     (Golia et al., FMCAD'21) — one CDCL descent with random decision
+//     polarity per sample, no uniformity machinery.
+//   - UniGenLike: a hashing-based almost-uniform sampler in the spirit of
+//     UniGen3 (Soos et al., CAV'20) — random XOR hash constraints partition
+//     the solution space into cells; cells are enumerated with a CDCL
+//     solver and sampled.
+//   - DiffSampler: gradient descent directly on the flat CNF clause
+//     relaxation (Ardakani et al., DAC'24 late-breaking) — the same tensor
+//     machinery as the core sampler but without the circuit transformation,
+//     so its per-iteration cost scales with CNF literals instead of the
+//     reduced multi-level function.
+//
+// All three return verified, deduplicated full CNF assignments so
+// throughput numbers are directly comparable with the core sampler's.
+package baselines
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Stats reports a sampling run.
+type Stats struct {
+	Unique    int           // distinct models found
+	Calls     int           // solver invocations or GD rounds
+	Elapsed   time.Duration // wall-clock sampling time
+	Timeout   bool          // stopped by deadline before reaching target
+	Exhausted bool          // solution space provably exhausted
+}
+
+// Throughput returns unique solutions per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Unique) / s.Elapsed.Seconds()
+}
+
+// Sampler is the common driver interface implemented by every baseline and
+// by the core-sampler adapter in the harness.
+type Sampler interface {
+	// Name identifies the sampler in reports.
+	Name() string
+	// Sample gathers up to target unique solutions within the timeout
+	// (timeout <= 0 means unbounded) and returns run statistics. Solutions
+	// accumulate across calls and are retrievable via Solutions.
+	Sample(target int, timeout time.Duration) Stats
+	// Solutions returns the distinct models found so far as dense
+	// assignments over the formula's variables.
+	Solutions() [][]bool
+}
+
+// pool deduplicates models.
+type pool struct {
+	formula *cnf.Formula
+	seen    map[string]struct{}
+	sols    [][]bool
+}
+
+func newPool(f *cnf.Formula) *pool {
+	return &pool{formula: f, seen: map[string]struct{}{}}
+}
+
+// add verifies and folds a model; it reports whether the model was new.
+func (p *pool) add(model []bool) bool {
+	if !p.formula.Sat(model) {
+		return false
+	}
+	key := packBits(model)
+	if _, dup := p.seen[key]; dup {
+		return false
+	}
+	p.seen[key] = struct{}{}
+	p.sols = append(p.sols, append([]bool(nil), model...))
+	return true
+}
+
+func (p *pool) size() int { return len(p.sols) }
+
+func packBits(b []bool) string {
+	out := make([]byte, (len(b)+7)/8)
+	for i, v := range b {
+		if v {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// CMSGenLike samples by repeated randomized CDCL descents: every decision
+// takes a random polarity and initial activities are perturbed, so each
+// Solve lands on a different model. This mirrors CMSGen's design point —
+// maximize sampling speed by reusing a tuned CDCL solver with randomized
+// heuristics, with no uniformity guarantee.
+type CMSGenLike struct {
+	formula *cnf.Formula
+	solver  *sat.Solver
+	pool    *pool
+	stats   Stats
+	rng     *rand.Rand
+}
+
+// NewCMSGenLike builds the sampler; seed controls the randomized descents.
+func NewCMSGenLike(f *cnf.Formula, seed int64) *CMSGenLike {
+	rng := rand.New(rand.NewSource(seed))
+	return &CMSGenLike{
+		formula: f,
+		solver: sat.NewSolver(f, sat.Options{
+			Rand:              rng,
+			RandomPolarity:    true,
+			RandomizeActivity: true,
+		}),
+		pool: newPool(f),
+		rng:  rng,
+	}
+}
+
+// Name implements Sampler.
+func (c *CMSGenLike) Name() string { return "cmsgen-like" }
+
+// Solutions implements Sampler.
+func (c *CMSGenLike) Solutions() [][]bool { return c.pool.sols }
+
+// Sample implements Sampler.
+func (c *CMSGenLike) Sample(target int, timeout time.Duration) Stats {
+	start := time.Now()
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	stale := 0
+	for c.pool.size() < target {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			c.stats.Timeout = true
+			break
+		}
+		c.stats.Calls++
+		verdict := c.solver.Solve()
+		if verdict == sat.Unsat {
+			c.stats.Exhausted = c.pool.size() > 0 || c.stats.Calls == 1
+			break
+		}
+		if verdict != sat.Sat {
+			break
+		}
+		if c.pool.add(c.solver.Model()) {
+			stale = 0
+		} else {
+			stale++
+			// Random descents revisit models on skewed spaces; a long
+			// duplicate streak means the reachable set is effectively
+			// exhausted for this heuristic.
+			if stale > 256 {
+				c.stats.Exhausted = true
+				break
+			}
+		}
+	}
+	c.stats.Unique = c.pool.size()
+	c.stats.Elapsed += time.Since(start)
+	return c.stats
+}

@@ -1,0 +1,281 @@
+// Package benchgen generates synthetic SAT-sampling benchmark instances
+// structurally matched to the four families in the paper's evaluation
+// (Meel's model-counting/uniform-sampling suite, which is not redistributed
+// here — see DESIGN.md):
+//
+//   - "or-k" — blasted OR/mux chains (or-50-10-7-UC-10 …): ~2k variables,
+//     ~5 clauses per input, a handful of outputs.
+//   - "q-chain" — long buffer/inverter chains stitched by 2:1 muxes
+//     (75-10-1-q …): more variables than clauses, a single output, exactly
+//     the shape of the paper's Fig. 1 example.
+//   - "iscas" — random multi-level netlists at s15850a-like scale: hundreds
+//     of primary inputs, tens of thousands of Tseitin clauses.
+//   - "prod" — wide product networks (Prod-8/20/32): 4-input AND/OR layers,
+//     two outputs, the densest clause-to-variable ratio.
+//
+// Every instance is produced by building the multi-level circuit first and
+// Tseitin-encoding it, so the CNF contains genuine gate clause signatures
+// (paper Eqs. 1–4) in gate order — the input distribution Algorithm 1 was
+// designed for. Generation is deterministic in the seed.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// Instance is one generated benchmark.
+type Instance struct {
+	Name   string
+	Family string
+	// Golden is the circuit the CNF was encoded from (not visible to
+	// samplers; kept for validation and statistics).
+	Golden *circuit.Circuit
+	// Formula is the Tseitin CNF handed to samplers and to the extractor.
+	Formula *cnf.Formula
+	// Enc maps golden circuit nodes to CNF variables.
+	Enc *circuit.TseitinResult
+}
+
+// Stats summarizes the instance the way the paper's Table II reports it.
+func (in *Instance) Stats() (pis, pos, vars, clauses int) {
+	return len(in.Golden.Inputs), len(in.Golden.Outputs),
+		in.Formula.NumVars, in.Formula.NumClauses()
+}
+
+func (in *Instance) String() string {
+	pi, po, v, c := in.Stats()
+	return fmt.Sprintf("%s: PI=%d PO=%d vars=%d clauses=%d", in.Name, pi, po, v, c)
+}
+
+// OrChain generates an "or-k"-style instance: inputs are split into nGroups
+// chains; each chain folds its inputs through alternating OR / 2:1-mux
+// steps and its final value is constrained to 1. The target output value is
+// chosen so each chain is satisfiable by construction.
+func OrChain(name string, inputs, nGroups int, seed int64) *Instance {
+	if nGroups < 1 {
+		nGroups = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.NewCircuit()
+	ins := make([]circuit.NodeID, inputs)
+	for i := range ins {
+		ins[i] = c.AddInput(fmt.Sprintf("i%d", i))
+	}
+	per := inputs / nGroups
+	idx := 0
+	for g := 0; g < nGroups; g++ {
+		count := per
+		if g == nGroups-1 {
+			count = inputs - idx
+		}
+		if count < 2 {
+			count = 2
+			if idx+count > inputs {
+				idx = inputs - count
+			}
+		}
+		cur := ins[idx]
+		for k := 1; k < count; k++ {
+			next := ins[idx+k]
+			switch r.Intn(3) {
+			case 0: // OR step
+				cur = c.AddGate(circuit.Or, cur, next)
+			case 1: // AND-OR step
+				n := c.AddGate(circuit.Not, cur)
+				cur = c.AddGate(circuit.Or, c.AddGate(circuit.And, cur, next), n)
+			default: // mux step with the previous value as select
+				prev := ins[(idx+k-1+inputs)%inputs]
+				a := c.AddGate(circuit.And, cur, next)
+				nb := c.AddGate(circuit.Not, cur)
+				b := c.AddGate(circuit.And, nb, prev)
+				cur = c.AddGate(circuit.Or, a, b)
+			}
+		}
+		idx += count
+		// An OR-dominated chain is almost always drivable to 1; constrain
+		// to the value reached from a random assignment to stay satisfiable
+		// by construction.
+		c.MarkOutput(cur, evalNode(c, cur, r))
+	}
+	return finish(name, "or-k", c)
+}
+
+// QChain generates a "*-q"-style instance: nSegments chains of buffers and
+// inverters of length chainLen, stitched by 2:1 muxes that consume fresh
+// primary inputs, ending in a single constrained output. Variables outnumber
+// clauses, as in the paper's 75-10-*-q rows.
+func QChain(name string, nSegments, chainLen int, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.NewCircuit()
+	cur := c.AddInput("seed")
+	for s := 0; s < nSegments; s++ {
+		for k := 0; k < chainLen; k++ {
+			if r.Intn(3) == 0 {
+				cur = c.AddGate(circuit.Not, cur)
+			} else {
+				cur = c.AddGate(circuit.Buf, cur)
+			}
+		}
+		// Mux step: out = cur ? a : b with fresh inputs a, b.
+		a := c.AddInput(fmt.Sprintf("a%d", s))
+		b := c.AddInput(fmt.Sprintf("b%d", s))
+		t1 := c.AddGate(circuit.And, cur, a)
+		nc := c.AddGate(circuit.Not, cur)
+		t2 := c.AddGate(circuit.And, nc, b)
+		cur = c.AddGate(circuit.Or, t1, t2)
+	}
+	c.MarkOutput(cur, evalNode(c, cur, r))
+	return finish(name, "q-chain", c)
+}
+
+// Iscas generates an s15850a-like random multi-level netlist: `inputs`
+// primary inputs, `gates` random 1–2 input gates biased toward AND/OR, and
+// nOutputs constrained outputs chosen near the end of the netlist.
+func Iscas(name string, inputs, gates, nOutputs int, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.NewCircuit()
+	for i := 0; i < inputs; i++ {
+		c.AddInput(fmt.Sprintf("i%d", i))
+	}
+	// Bias node selection toward recent nodes for realistic logic depth.
+	pick := func() circuit.NodeID {
+		n := c.NumNodes()
+		if n == inputs || r.Intn(3) == 0 {
+			return circuit.NodeID(r.Intn(n))
+		}
+		w := n / 4
+		if w < 1 {
+			w = 1
+		}
+		return circuit.NodeID(n - 1 - r.Intn(w))
+	}
+	for g := 0; g < gates; g++ {
+		switch r.Intn(10) {
+		case 0, 1: // 20% inverters/buffers
+			if r.Intn(2) == 0 {
+				c.AddGate(circuit.Not, pick())
+			} else {
+				c.AddGate(circuit.Buf, pick())
+			}
+		case 2: // 10% XOR
+			a, b := pick(), pick()
+			if a == b {
+				c.AddGate(circuit.Not, a)
+				continue
+			}
+			c.AddGate(circuit.Xor, a, b)
+		default: // 70% AND/OR/NAND/NOR
+			a, b := pick(), pick()
+			if a == b {
+				c.AddGate(circuit.Buf, a)
+				continue
+			}
+			types := []circuit.GateType{circuit.And, circuit.Or, circuit.Nand, circuit.Nor}
+			c.AddGate(types[r.Intn(len(types))], a, b)
+		}
+	}
+	// Outputs: the last nOutputs distinct gate nodes, constrained to the
+	// values they take under a random input assignment (satisfiable by
+	// construction).
+	in := make([]bool, inputs)
+	for i := range in {
+		in[i] = r.Intn(2) == 0
+	}
+	vals := c.Eval(in)
+	for k := 0; k < nOutputs; k++ {
+		id := circuit.NodeID(c.NumNodes() - 1 - k)
+		if id < circuit.NodeID(inputs) {
+			break
+		}
+		c.MarkOutput(id, vals[id])
+	}
+	return finish(name, "iscas", c)
+}
+
+// Prod generates a Prod-k-like instance: `copies` independent trees of
+// 4-input AND/OR gates, each over a shuffled view of the shared primary
+// inputs, XOR-folded into two constrained outputs. The wide gates give the
+// dense clause-to-variable ratio of the Prod rows in Table II.
+func Prod(name string, inputs, copies int, seed int64) *Instance {
+	r := rand.New(rand.NewSource(seed))
+	c := circuit.NewCircuit()
+	ins := make([]circuit.NodeID, inputs)
+	for i := range ins {
+		ins[i] = c.AddInput(fmt.Sprintf("i%d", i))
+	}
+	var roots []circuit.NodeID
+	perm := make([]circuit.NodeID, inputs)
+	copy(perm, ins)
+	for k := 0; k < copies; k++ {
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		level := append([]circuit.NodeID(nil), perm...)
+		for len(level) > 1 {
+			var next []circuit.NodeID
+			i := 0
+			for ; i+3 < len(level); i += 4 {
+				ty := circuit.And
+				if r.Intn(2) == 1 {
+					ty = circuit.Or
+				}
+				next = append(next, c.AddGate(ty, level[i], level[i+1], level[i+2], level[i+3]))
+			}
+			for ; i < len(level); i++ {
+				next = append(next, level[i])
+			}
+			if len(next) == len(level) { // 2-3 leftovers: fold with OR
+				g := next[0]
+				for j := 1; j < len(next); j++ {
+					g = c.AddGate(circuit.Or, g, next[j])
+				}
+				next = []circuit.NodeID{g}
+			}
+			level = next
+		}
+		roots = append(roots, level[0])
+	}
+	// XOR-fold the tree roots into two outputs.
+	fold := func(part []circuit.NodeID) circuit.NodeID {
+		cur := part[0]
+		for i := 1; i < len(part); i++ {
+			cur = c.AddGate(circuit.Xor, cur, part[i])
+		}
+		return cur
+	}
+	half := len(roots) / 2
+	if half == 0 {
+		half = 1
+	}
+	o1 := fold(roots[:half])
+	o2 := o1
+	if half < len(roots) {
+		o2 = fold(roots[half:])
+	}
+	in := make([]bool, len(c.Inputs))
+	rr := rand.New(rand.NewSource(seed + 1))
+	for i := range in {
+		in[i] = rr.Intn(2) == 0
+	}
+	vals := c.Eval(in)
+	c.MarkOutput(o1, vals[o1])
+	if o2 != o1 {
+		c.MarkOutput(o2, vals[o2])
+	}
+	return finish(name, "prod", c)
+}
+
+func evalNode(c *circuit.Circuit, id circuit.NodeID, r *rand.Rand) bool {
+	in := make([]bool, len(c.Inputs))
+	for i := range in {
+		in[i] = r.Intn(2) == 0
+	}
+	return c.Eval(in)[id]
+}
+
+func finish(name, family string, c *circuit.Circuit) *Instance {
+	enc := c.Tseitin()
+	return &Instance{Name: name, Family: family, Golden: c, Formula: enc.Formula, Enc: enc}
+}

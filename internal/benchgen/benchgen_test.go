@@ -1,0 +1,176 @@
+package benchgen
+
+import (
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/sat"
+)
+
+// checkSatisfiable verifies the instance's CNF has a model reachable from
+// the golden circuit (instances are satisfiable by construction).
+func checkSatisfiable(t *testing.T, in *Instance) {
+	t.Helper()
+	s := sat.NewSolver(in.Formula, sat.Options{MaxConflicts: 200000})
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("%s: solver verdict %v, want SAT", in.Name, got)
+	}
+}
+
+func TestSmallSuiteInstancesAreSatisfiable(t *testing.T) {
+	for _, in := range SmallSuite() {
+		checkSatisfiable(t, in)
+	}
+}
+
+func TestOrChainShape(t *testing.T) {
+	in := OrChain("or-50", 50, 4, 5010)
+	pi, po, vars, clauses := in.Stats()
+	if pi != 50 {
+		t.Errorf("PI = %d want 50", pi)
+	}
+	if po != 4 {
+		t.Errorf("PO = %d want 4", po)
+	}
+	if vars < 80 || vars > 400 {
+		t.Errorf("vars = %d, outside or-k scale", vars)
+	}
+	if clauses < 150 || clauses > 1200 {
+		t.Errorf("clauses = %d, outside or-k scale", clauses)
+	}
+	checkSatisfiable(t, in)
+}
+
+func TestQChainShape(t *testing.T) {
+	in := QChain("75-10-1-q", 41, 8, 7510)
+	pi, po, vars, _ := in.Stats()
+	if po != 1 {
+		t.Errorf("PO = %d want 1", po)
+	}
+	if pi != 83 { // seed input + 2 per segment; paper row reports 83
+		t.Errorf("PI = %d want 83", pi)
+	}
+	if vars < 300 || vars > 700 {
+		t.Errorf("vars = %d, outside q-chain scale", vars)
+	}
+	checkSatisfiable(t, in)
+}
+
+func TestIscasShape(t *testing.T) {
+	in := Iscas("s-mid", 200, 2400, 5, 1)
+	pi, po, vars, clauses := in.Stats()
+	if pi != 200 {
+		t.Errorf("PI = %d want 200", pi)
+	}
+	if po < 1 || po > 5 {
+		t.Errorf("PO = %d want <= 5", po)
+	}
+	if vars < 2000 || clauses < 4000 {
+		t.Errorf("scale too small: vars=%d clauses=%d", vars, clauses)
+	}
+	checkSatisfiable(t, in)
+}
+
+func TestProdShape(t *testing.T) {
+	in := Prod("prod-mid", 100, 10, 8)
+	pi, po, vars, clauses := in.Stats()
+	if pi != 100 {
+		t.Errorf("PI = %d want 100", pi)
+	}
+	if po != 2 {
+		t.Errorf("PO = %d want 2", po)
+	}
+	// Prod rows are the densest family: clauses/vars well above 2.
+	ratio := float64(clauses) / float64(vars)
+	if ratio < 2 {
+		t.Errorf("clause/var ratio = %.2f, want the densest family (>2)", ratio)
+	}
+	checkSatisfiable(t, in)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := OrChain("x", 30, 3, 42)
+	b := OrChain("x", 30, 3, 42)
+	if a.Formula.DIMACSString() != b.Formula.DIMACSString() {
+		t.Error("OrChain not deterministic")
+	}
+	c := Prod("p", 40, 4, 7)
+	d := Prod("p", 40, 4, 7)
+	if c.Formula.DIMACSString() != d.Formula.DIMACSString() {
+		t.Error("Prod not deterministic")
+	}
+}
+
+func TestTable2InstanceCount(t *testing.T) {
+	ins := Table2Instances()
+	if len(ins) != 14 {
+		t.Fatalf("Table II instances = %d want 14", len(ins))
+	}
+	families := map[string]int{}
+	for _, in := range ins {
+		families[in.Family]++
+	}
+	if families["or-k"] != 4 || families["q-chain"] != 4 || families["iscas"] != 3 || families["prod"] != 3 {
+		t.Errorf("family split wrong: %v", families)
+	}
+}
+
+func TestSuite60Count(t *testing.T) {
+	ins := Suite60()
+	if len(ins) != 60 {
+		t.Fatalf("suite size = %d want 60", len(ins))
+	}
+	seen := map[string]bool{}
+	for _, in := range ins {
+		if seen[in.Name] {
+			t.Errorf("duplicate instance name %q", in.Name)
+		}
+		seen[in.Name] = true
+		if in.Formula.NumClauses() == 0 {
+			t.Errorf("%s has no clauses", in.Name)
+		}
+	}
+}
+
+// TestExtractionRecoversStructure: the extractor must achieve an ops
+// reduction on every family (the transformation's core claim).
+func TestExtractionRecoversStructure(t *testing.T) {
+	for _, in := range SmallSuite() {
+		res, err := extract.Transform(in.Formula)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		cnfOps := in.Formula.OpCount2()
+		cktOps := res.Circuit.OpCount2()
+		if cktOps >= cnfOps {
+			t.Errorf("%s: no ops reduction (circuit %d >= CNF %d)", in.Name, cktOps, cnfOps)
+		}
+		if len(res.Circuit.Inputs) == 0 {
+			t.Errorf("%s: no primary inputs recovered", in.Name)
+		}
+	}
+}
+
+// TestGoldenAssignmentSatisfiesCNF: extending a random golden-circuit
+// evaluation must satisfy the Tseitin CNF minus the XOR-ladder variables
+// (checked via a solver instead, which covers them).
+func TestGoldenAssignmentSatisfiesCNF(t *testing.T) {
+	in := SmallSuite()[0]
+	pi, _, _, _ := in.Stats()
+	_ = pi
+	s := sat.NewSolver(in.Formula, sat.Options{})
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat small instance")
+	}
+	if !in.Formula.Sat(s.Model()) {
+		t.Fatal("solver model does not verify")
+	}
+}
+
+func TestInstanceStringFormat(t *testing.T) {
+	in := SmallSuite()[0]
+	str := in.String()
+	if str == "" || in.Name == "" || in.Family == "" {
+		t.Error("incomplete instance metadata")
+	}
+}

@@ -1,0 +1,332 @@
+// Package circuit provides a gate-level intermediate representation for
+// multi-level, multi-output Boolean functions: the output format of the
+// paper's CNF transformation and the input format of the gradient-descent
+// sampler. It also implements the Tseitin encoding (circuit → CNF), used by
+// the benchmark generators to produce CNF instances with genuine Tseitin
+// clause signatures, and structural statistics (2-input gate equivalents)
+// for the Fig. 4 ops-reduction ablation.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// GateType enumerates node kinds.
+type GateType uint8
+
+// Node kinds. Input nodes have no fanin; Const nodes carry Val; Buf/Not are
+// single-input; the remaining gates accept 2+ inputs.
+const (
+	Input GateType = iota
+	Const
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+)
+
+var gateNames = [...]string{"INPUT", "CONST", "BUF", "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR"}
+
+func (g GateType) String() string {
+	if int(g) < len(gateNames) {
+		return gateNames[g]
+	}
+	return fmt.Sprintf("GATE(%d)", uint8(g))
+}
+
+// NodeID indexes a node within a Circuit.
+type NodeID int32
+
+// Node is one gate. Fanin node ids are always smaller than the node's own
+// id, so Nodes is stored in topological order by construction.
+type Node struct {
+	Type  GateType
+	Fanin []NodeID
+	Val   bool   // constant value when Type == Const
+	Var   int    // originating CNF variable (0 when none)
+	Name  string // optional label
+}
+
+// Output is a circuit output with the target value the sampler must drive
+// it to (the paper constrains primary outputs to constants, usually 1).
+type Output struct {
+	Node   NodeID
+	Target bool
+}
+
+// Circuit is a multi-level, multi-output Boolean function.
+type Circuit struct {
+	Nodes   []Node
+	Inputs  []NodeID // primary inputs in declaration order
+	Outputs []Output
+}
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit { return &Circuit{} }
+
+// AddInput appends a primary input node.
+func (c *Circuit) AddInput(name string) NodeID {
+	id := NodeID(len(c.Nodes))
+	c.Nodes = append(c.Nodes, Node{Type: Input, Name: name})
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// AddConst appends a constant node.
+func (c *Circuit) AddConst(v bool) NodeID {
+	id := NodeID(len(c.Nodes))
+	c.Nodes = append(c.Nodes, Node{Type: Const, Val: v})
+	return id
+}
+
+// AddGate appends a gate over existing nodes. It panics on malformed arity
+// or forward references, which indicate construction bugs.
+func (c *Circuit) AddGate(t GateType, fanin ...NodeID) NodeID {
+	switch t {
+	case Input, Const:
+		panic("circuit: use AddInput/AddConst")
+	case Buf, Not:
+		if len(fanin) != 1 {
+			panic(fmt.Sprintf("circuit: %v needs exactly 1 fanin, got %d", t, len(fanin)))
+		}
+	default:
+		if len(fanin) < 2 {
+			panic(fmt.Sprintf("circuit: %v needs >= 2 fanins, got %d", t, len(fanin)))
+		}
+	}
+	id := NodeID(len(c.Nodes))
+	for _, f := range fanin {
+		if f < 0 || f >= id {
+			panic(fmt.Sprintf("circuit: fanin %d out of range for node %d", f, id))
+		}
+	}
+	c.Nodes = append(c.Nodes, Node{Type: t, Fanin: append([]NodeID(nil), fanin...)})
+	return id
+}
+
+// MarkOutput declares node as a primary output with the given target value.
+func (c *Circuit) MarkOutput(node NodeID, target bool) {
+	if node < 0 || int(node) >= len(c.Nodes) {
+		panic(fmt.Sprintf("circuit: output node %d out of range", node))
+	}
+	c.Outputs = append(c.Outputs, Output{Node: node, Target: target})
+}
+
+// NumNodes returns the number of nodes.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of non-input, non-constant nodes.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		if nd.Type != Input && nd.Type != Const {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval computes all node values given the primary input values (in Inputs
+// order). The returned slice is indexed by NodeID.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("circuit: got %d input values for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	vals := make([]bool, len(c.Nodes))
+	for i, id := range c.Inputs {
+		vals[id] = inputs[i]
+	}
+	for id, nd := range c.Nodes {
+		switch nd.Type {
+		case Input:
+			// already set
+		case Const:
+			vals[id] = nd.Val
+		case Buf:
+			vals[id] = vals[nd.Fanin[0]]
+		case Not:
+			vals[id] = !vals[nd.Fanin[0]]
+		case And, Nand:
+			v := true
+			for _, f := range nd.Fanin {
+				v = v && vals[f]
+			}
+			if nd.Type == Nand {
+				v = !v
+			}
+			vals[id] = v
+		case Or, Nor:
+			v := false
+			for _, f := range nd.Fanin {
+				v = v || vals[f]
+			}
+			if nd.Type == Nor {
+				v = !v
+			}
+			vals[id] = v
+		case Xor, Xnor:
+			v := false
+			for _, f := range nd.Fanin {
+				v = v != vals[f]
+			}
+			if nd.Type == Xnor {
+				v = !v
+			}
+			vals[id] = v
+		}
+	}
+	return vals
+}
+
+// OutputsSatisfied reports whether the inputs drive every output to its
+// target value.
+func (c *Circuit) OutputsSatisfied(inputs []bool) bool {
+	vals := c.Eval(inputs)
+	for _, o := range c.Outputs {
+		if vals[o.Node] != o.Target {
+			return false
+		}
+	}
+	return true
+}
+
+// OpCount2 returns the number of bit-wise operations in 2-input gate
+// equivalents: an n-input AND/OR/NAND/NOR/XOR/XNOR counts n-1; BUF and NOT
+// are free, matching the CNF-side accounting in cnf.Formula.OpCount2.
+func (c *Circuit) OpCount2() int {
+	ops := 0
+	for _, nd := range c.Nodes {
+		switch nd.Type {
+		case And, Or, Nand, Nor, Xor, Xnor:
+			ops += len(nd.Fanin) - 1
+		}
+	}
+	return ops
+}
+
+// Levels returns the logic depth of each node (inputs/consts at 0).
+func (c *Circuit) Levels() []int {
+	lv := make([]int, len(c.Nodes))
+	for id, nd := range c.Nodes {
+		max := -1
+		for _, f := range nd.Fanin {
+			if lv[f] > max {
+				max = lv[f]
+			}
+		}
+		lv[id] = max + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum logic level over all nodes.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.Levels() {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// ConstrainedCone returns, for every node, whether it lies in the transitive
+// fanin cone of some primary output — the paper's "constrained paths".
+// Inputs outside every cone feed only unconstrained paths and may be
+// assigned freely.
+func (c *Circuit) ConstrainedCone() []bool {
+	in := make([]bool, len(c.Nodes))
+	for _, o := range c.Outputs {
+		in[o.Node] = true
+	}
+	for id := len(c.Nodes) - 1; id >= 0; id-- {
+		if !in[id] {
+			continue
+		}
+		for _, f := range c.Nodes[id].Fanin {
+			in[f] = true
+		}
+	}
+	return in
+}
+
+// FreeInputs returns the indices (into Inputs) of primary inputs that lie
+// outside every output cone, i.e. on unconstrained paths only.
+func (c *Circuit) FreeInputs() []int {
+	cone := c.ConstrainedCone()
+	var free []int
+	for i, id := range c.Inputs {
+		if !cone[id] {
+			free = append(free, i)
+		}
+	}
+	return free
+}
+
+// InstantiateExpr adds gates computing e, with expression variable id v
+// resolved through env (mapping v -> existing node). New gates are appended;
+// the root node id is returned.
+func (c *Circuit) InstantiateExpr(e *logic.Expr, env map[int]NodeID) NodeID {
+	switch e.Op {
+	case logic.OpConst:
+		return c.AddConst(e.Val)
+	case logic.OpVar:
+		id, ok := env[e.Var]
+		if !ok {
+			panic(fmt.Sprintf("circuit: unbound expression variable x%d", e.Var))
+		}
+		return id
+	case logic.OpNot:
+		return c.AddGate(Not, c.InstantiateExpr(e.Args[0], env))
+	case logic.OpAnd, logic.OpOr, logic.OpXor:
+		fanin := make([]NodeID, len(e.Args))
+		for i, a := range e.Args {
+			fanin[i] = c.InstantiateExpr(a, env)
+		}
+		if len(fanin) == 1 {
+			return fanin[0]
+		}
+		switch e.Op {
+		case logic.OpAnd:
+			return c.AddGate(And, fanin...)
+		case logic.OpOr:
+			return c.AddGate(Or, fanin...)
+		default:
+			return c.AddGate(Xor, fanin...)
+		}
+	}
+	panic("circuit: invalid expression op")
+}
+
+// Stats summarises circuit structure.
+type Stats struct {
+	Nodes   int
+	Gates   int
+	Inputs  int
+	Outputs int
+	Depth   int
+	Ops2    int
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	return Stats{
+		Nodes:   len(c.Nodes),
+		Gates:   c.NumGates(),
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Depth:   c.Depth(),
+		Ops2:    c.OpCount2(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d gates=%d inputs=%d outputs=%d depth=%d ops2=%d",
+		s.Nodes, s.Gates, s.Inputs, s.Outputs, s.Depth, s.Ops2)
+}

@@ -1,0 +1,351 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// buildPaperFig1 constructs the circuit from the paper's Fig. 1(b):
+// x2=¬x1; x3=x2; x4=x3; x5=(x4∧x11)∨(¬x4∧x12)  (unconstrained path)
+// x7=x6; x8=x7; x9=¬x8; x10=(x9∧x13)∨(¬x9∧x14); output x10=1 (constrained).
+func buildPaperFig1() *Circuit {
+	c := NewCircuit()
+	x1 := c.AddInput("x1")
+	x11 := c.AddInput("x11")
+	x12 := c.AddInput("x12")
+	x6 := c.AddInput("x6")
+	x13 := c.AddInput("x13")
+	x14 := c.AddInput("x14")
+
+	x2 := c.AddGate(Not, x1)
+	x3 := c.AddGate(Buf, x2)
+	x4 := c.AddGate(Buf, x3)
+	n4 := c.AddGate(Not, x4)
+	a1 := c.AddGate(And, x4, x11)
+	a2 := c.AddGate(And, n4, x12)
+	c.AddGate(Or, a1, a2) // x5, intermediate only
+
+	x7 := c.AddGate(Buf, x6)
+	x8 := c.AddGate(Buf, x7)
+	x9 := c.AddGate(Not, x8)
+	n9 := c.AddGate(Not, x9)
+	b1 := c.AddGate(And, x9, x13)
+	b2 := c.AddGate(And, n9, x14)
+	x10 := c.AddGate(Or, b1, b2)
+	c.MarkOutput(x10, true)
+	return c
+}
+
+func TestEvalMux(t *testing.T) {
+	c := buildPaperFig1()
+	// x10 = mux(x9 = x6? ... ). x9 = ¬x8 = ¬x6. So x10 = x13 when x6=0, x14 when x6=1.
+	// Inputs order: x1, x11, x12, x6, x13, x14.
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{false, false, false, false, true, false}, true},  // x6=0 → x10=x13=1
+		{[]bool{false, false, false, false, false, true}, false}, // x6=0 → x10=x13=0
+		{[]bool{false, false, false, true, false, true}, true},   // x6=1 → x10=x14=1
+		{[]bool{false, false, false, true, true, false}, false},  // x6=1 → x10=x14=0
+	}
+	for i, tc := range cases {
+		if got := c.OutputsSatisfied(tc.in); got != tc.want {
+			t.Errorf("case %d: OutputsSatisfied = %v want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestConstrainedConeAndFreeInputs(t *testing.T) {
+	c := buildPaperFig1()
+	free := c.FreeInputs()
+	// x1, x11, x12 (input indices 0,1,2) feed only the unconstrained path.
+	want := []int{0, 1, 2}
+	if len(free) != len(want) {
+		t.Fatalf("FreeInputs = %v want %v", free, want)
+	}
+	for i := range want {
+		if free[i] != want[i] {
+			t.Fatalf("FreeInputs = %v want %v", free, want)
+		}
+	}
+}
+
+func TestGateSemantics(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	and := c.AddGate(And, a, b)
+	or := c.AddGate(Or, a, b)
+	nand := c.AddGate(Nand, a, b)
+	nor := c.AddGate(Nor, a, b)
+	xor := c.AddGate(Xor, a, b)
+	xnor := c.AddGate(Xnor, a, b)
+	for r := 0; r < 4; r++ {
+		av, bv := r&1 != 0, r&2 != 0
+		vals := c.Eval([]bool{av, bv})
+		if vals[and] != (av && bv) {
+			t.Errorf("AND(%v,%v) = %v", av, bv, vals[and])
+		}
+		if vals[or] != (av || bv) {
+			t.Errorf("OR(%v,%v) = %v", av, bv, vals[or])
+		}
+		if vals[nand] != !(av && bv) {
+			t.Errorf("NAND(%v,%v) = %v", av, bv, vals[nand])
+		}
+		if vals[nor] != !(av || bv) {
+			t.Errorf("NOR(%v,%v) = %v", av, bv, vals[nor])
+		}
+		if vals[xor] != (av != bv) {
+			t.Errorf("XOR(%v,%v) = %v", av, bv, vals[xor])
+		}
+		if vals[xnor] != (av == bv) {
+			t.Errorf("XNOR(%v,%v) = %v", av, bv, vals[xnor])
+		}
+	}
+}
+
+func TestMultiInputGates(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	and3 := c.AddGate(And, a, b, d)
+	xor3 := c.AddGate(Xor, a, b, d)
+	for r := 0; r < 8; r++ {
+		in := []bool{r&1 != 0, r&2 != 0, r&4 != 0}
+		vals := c.Eval(in)
+		if vals[and3] != (in[0] && in[1] && in[2]) {
+			t.Errorf("AND3(%v) = %v", in, vals[and3])
+		}
+		parity := in[0] != in[1] != in[2]
+		if vals[xor3] != parity {
+			t.Errorf("XOR3(%v) = %v want %v", in, vals[xor3], parity)
+		}
+	}
+}
+
+func TestOpCount2(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	c.AddGate(Not, a)       // 0
+	c.AddGate(And, a, b, d) // 2
+	c.AddGate(Or, a, b)     // 1
+	c.AddGate(Buf, b)       // 0
+	if got := c.OpCount2(); got != 3 {
+		t.Errorf("OpCount2 = %d want 3", got)
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	c := buildPaperFig1()
+	// Longest path: x1→x2→x3→x4→¬x4→a2→x5 = 6 levels.
+	if d := c.Depth(); d != 6 {
+		t.Errorf("Depth = %d want 6", d)
+	}
+	lv := c.Levels()
+	for _, id := range c.Inputs {
+		if lv[id] != 0 {
+			t.Errorf("input level = %d want 0", lv[id])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildPaperFig1()
+	s := c.Stats()
+	if s.Inputs != 6 || s.Outputs != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Nodes != c.NumNodes() || s.Gates != c.NumGates() {
+		t.Errorf("Stats inconsistent: %+v", s)
+	}
+}
+
+func TestInstantiateExpr(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	e := logic.MustParse("(x1 & x2) | !x1")
+	root := c.InstantiateExpr(e, map[int]NodeID{1: a, 2: b})
+	c.MarkOutput(root, true)
+	for r := 0; r < 4; r++ {
+		in := []bool{r&1 != 0, r&2 != 0}
+		want := e.Eval(func(id int) bool { return in[id-1] })
+		if got := c.Eval(in)[root]; got != want {
+			t.Errorf("InstantiateExpr eval mismatch on %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestInstantiateExprUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound variable did not panic")
+		}
+	}()
+	c := NewCircuit()
+	c.InstantiateExpr(logic.V(1), nil)
+}
+
+func TestAddGateValidation(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	for _, fn := range []func(){
+		func() { c.AddGate(Not, a, a) },
+		func() { c.AddGate(And, a) },
+		func() { c.AddGate(Input) },
+		func() { c.AddGate(And, a, NodeID(99)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTseitinEquisatisfiable: a random circuit's Tseitin CNF must be
+// satisfied exactly by assignments whose input projection drives the
+// outputs to their targets (with intermediate variables set consistently).
+func TestTseitinEquisatisfiable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		c := randomCircuit(r, 4, 10)
+		res := c.Tseitin()
+		// For every input assignment, compute circuit values and extend to a
+		// full CNF assignment; CNF must be satisfied iff outputs hit targets.
+		n := len(c.Inputs)
+		for mask := 0; mask < 1<<n; mask++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = mask&(1<<i) != 0
+			}
+			vals := c.Eval(in)
+			assign := make([]bool, res.Formula.NumVars)
+			for id, v := range res.NodeVar {
+				assign[v-1] = vals[id]
+			}
+			// Fill parity ladder variables by propagation: they are defined
+			// by equalities, so evaluate clauses until fixpoint via the
+			// circuit; simpler: recompute ladder values directly.
+			fillLadder(c, res, vals, assign)
+			want := c.OutputsSatisfied(in)
+			if got := res.Formula.Sat(assign); got != want {
+				t.Fatalf("trial %d mask %d: CNF sat=%v circuit=%v", trial, mask, got, want)
+			}
+		}
+	}
+}
+
+// fillLadder recomputes the fresh XOR-ladder variables introduced by
+// Tseitin so the dense assignment covers them.
+func fillLadder(c *Circuit, res *TseitinResult, vals []bool, assign []bool) {
+	next := len(c.Nodes) // first ladder variable (0-based index next..)
+	for _, nd := range c.Nodes {
+		if nd.Type != Xor && nd.Type != Xnor {
+			continue
+		}
+		cur := vals[nd.Fanin[0]] != vals[nd.Fanin[1]]
+		assign[next] = cur
+		next++
+		for i := 2; i < len(nd.Fanin); i++ {
+			cur = cur != vals[nd.Fanin[i]]
+			assign[next] = cur
+			next++
+		}
+	}
+}
+
+func randomCircuit(r *rand.Rand, inputs, gates int) *Circuit {
+	c := NewCircuit()
+	for i := 0; i < inputs; i++ {
+		c.AddInput("")
+	}
+	types := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not, Buf}
+	for g := 0; g < gates; g++ {
+		t := types[r.Intn(len(types))]
+		pick := func() NodeID { return NodeID(r.Intn(c.NumNodes())) }
+		switch t {
+		case Not, Buf:
+			c.AddGate(t, pick())
+		default:
+			k := 2 + r.Intn(2)
+			fanin := make([]NodeID, k)
+			for i := range fanin {
+				fanin[i] = pick()
+			}
+			c.AddGate(t, fanin...)
+		}
+	}
+	// Mark 1-2 outputs among the last nodes; target values random but keep
+	// the instance likely satisfiable by using the value under all-false.
+	vals := c.Eval(make([]bool, inputs))
+	last := NodeID(c.NumNodes() - 1)
+	c.MarkOutput(last, vals[last])
+	return c
+}
+
+func TestTseitinPaperFig1Shape(t *testing.T) {
+	c := buildPaperFig1()
+	res := c.Tseitin()
+	// 21 clauses in the paper's hand encoding; ours differs in variable
+	// numbering but the unit output clause must exist and the formula must
+	// be satisfiable by an assignment derived from a good input.
+	in := []bool{false, false, false, false, true, false} // x13=1, x6=0 → x10=1
+	vals := c.Eval(in)
+	assign := make([]bool, res.Formula.NumVars)
+	for id, v := range res.NodeVar {
+		assign[v-1] = vals[id]
+	}
+	if !res.Formula.Sat(assign) {
+		t.Fatal("Tseitin CNF rejects a valid circuit assignment")
+	}
+	foundUnit := false
+	for _, cl := range res.Formula.Clauses {
+		if len(cl) == 1 {
+			foundUnit = true
+		}
+	}
+	if !foundUnit {
+		t.Error("no unit output clause emitted")
+	}
+}
+
+// Property: Tseitin never changes the number of models over the inputs —
+// for every input assignment there is exactly one consistent extension.
+func TestTseitinModelBijectionProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r, 3, 6)
+		res := c.Tseitin()
+		okCount := 0
+		for mask := 0; mask < 8; mask++ {
+			in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+			if c.OutputsSatisfied(in) {
+				okCount++
+				vals := c.Eval(in)
+				assign := make([]bool, res.Formula.NumVars)
+				for id, v := range res.NodeVar {
+					assign[v-1] = vals[id]
+				}
+				fillLadder(c, res, vals, assign)
+				if !res.Formula.Sat(assign) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

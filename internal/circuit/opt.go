@@ -1,0 +1,244 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sweep returns a structurally optimized copy of the circuit: constants are
+// propagated, buffers are bypassed, structurally identical gates are merged
+// (structural hashing), and nodes outside every output cone are dropped.
+// Inputs are always preserved (with their order), so the optimized circuit
+// remains plug-compatible for sampling. The paper notes the transformation
+// output "can be further optimized by leveraging other techniques … for
+// reducing the complexity of multi-level logic circuits" — this pass is
+// that hook.
+func (c *Circuit) Sweep() *Circuit {
+	out := NewCircuit()
+	remap := make([]NodeID, len(c.Nodes))
+	hash := map[string]NodeID{} // structural key -> node in out
+
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, id := range c.Inputs {
+		nid := out.AddInput(c.Nodes[id].Name)
+		out.Nodes[nid].Var = c.Nodes[id].Var
+		remap[id] = nid
+	}
+	constOf := func(id NodeID) (bool, bool) {
+		nd := out.Nodes[id]
+		if nd.Type == Const {
+			return nd.Val, true
+		}
+		return false, false
+	}
+	getConst := func(v bool) NodeID {
+		key := fmt.Sprintf("const:%v", v)
+		if nid, ok := hash[key]; ok {
+			return nid
+		}
+		nid := out.AddConst(v)
+		hash[key] = nid
+		return nid
+	}
+
+	for id, nd := range c.Nodes {
+		if remap[id] >= 0 {
+			continue // input
+		}
+		switch nd.Type {
+		case Const:
+			remap[id] = getConst(nd.Val)
+		case Buf:
+			remap[id] = remap[nd.Fanin[0]]
+		case Not:
+			a := remap[nd.Fanin[0]]
+			if v, ok := constOf(a); ok {
+				remap[id] = getConst(!v)
+				continue
+			}
+			// ¬¬x = x via hashing of the NOT key.
+			key := fmt.Sprintf("not:%d", a)
+			if nid, ok := hash[key]; ok {
+				remap[id] = nid
+				continue
+			}
+			nid := out.AddGate(Not, a)
+			hash[key] = nid
+			remap[id] = nid
+		default:
+			remap[id] = sweepGate(out, hash, nd, remap, getConst)
+		}
+		out.Nodes[remap[id]].Var = nd.Var
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(remap[o.Node], o.Target)
+	}
+	return out.pruneDead()
+}
+
+// sweepGate rewrites one associative/parity gate with constant folding,
+// duplicate removal and structural hashing.
+func sweepGate(out *Circuit, hash map[string]NodeID, nd Node, remap []NodeID, getConst func(bool) NodeID) NodeID {
+	invert := false
+	var base GateType
+	switch nd.Type {
+	case And, Nand:
+		base = And
+		invert = nd.Type == Nand
+	case Or, Nor:
+		base = Or
+		invert = nd.Type == Nor
+	case Xor, Xnor:
+		base = Xor
+		invert = nd.Type == Xnor
+	default:
+		panic(fmt.Sprintf("circuit: sweepGate on %v", nd.Type))
+	}
+
+	fanin := make([]NodeID, 0, len(nd.Fanin))
+	flip := false
+	for _, f := range nd.Fanin {
+		a := remap[f]
+		if v, ok := constValue(out, a); ok {
+			switch base {
+			case And:
+				if !v {
+					return applyInv(out, hash, getConst(false), invert, getConst)
+				}
+			case Or:
+				if v {
+					return applyInv(out, hash, getConst(true), invert, getConst)
+				}
+			case Xor:
+				if v {
+					flip = !flip
+				}
+			}
+			continue
+		}
+		fanin = append(fanin, a)
+	}
+	sort.Slice(fanin, func(i, j int) bool { return fanin[i] < fanin[j] })
+	// Duplicate handling: AND/OR dedupe; XOR cancels pairs.
+	dedup := fanin[:0]
+	for i := 0; i < len(fanin); {
+		if i+1 < len(fanin) && fanin[i] == fanin[i+1] {
+			if base == Xor {
+				i += 2 // a ⊕ a = 0
+				continue
+			}
+			i++ // a ∧ a = a: skip one copy
+			continue
+		}
+		dedup = append(dedup, fanin[i])
+		i++
+	}
+	fanin = dedup
+
+	var nid NodeID
+	switch len(fanin) {
+	case 0:
+		switch base {
+		case And:
+			nid = getConst(true)
+		case Or:
+			nid = getConst(false)
+		default:
+			nid = getConst(false)
+		}
+	case 1:
+		nid = fanin[0]
+	default:
+		parts := make([]string, len(fanin))
+		for i, f := range fanin {
+			parts[i] = fmt.Sprint(f)
+		}
+		key := fmt.Sprintf("%d:%s", base, strings.Join(parts, ","))
+		if existing, ok := hash[key]; ok {
+			nid = existing
+		} else {
+			nid = out.AddGate(base, fanin...)
+			hash[key] = nid
+		}
+	}
+	if base == Xor && flip {
+		invert = !invert
+	}
+	return applyInv(out, hash, nid, invert, getConst)
+}
+
+func applyInv(out *Circuit, hash map[string]NodeID, id NodeID, invert bool, getConst func(bool) NodeID) NodeID {
+	if !invert {
+		return id
+	}
+	if v, ok := constValue(out, id); ok {
+		return getConst(!v)
+	}
+	key := fmt.Sprintf("not:%d", id)
+	if nid, ok := hash[key]; ok {
+		return nid
+	}
+	nid := out.AddGate(Not, id)
+	hash[key] = nid
+	return nid
+}
+
+func constValue(c *Circuit, id NodeID) (bool, bool) {
+	nd := c.Nodes[id]
+	if nd.Type == Const {
+		return nd.Val, true
+	}
+	return false, false
+}
+
+// pruneDead drops nodes outside every output cone (inputs are kept).
+func (c *Circuit) pruneDead() *Circuit {
+	live := make([]bool, len(c.Nodes))
+	for _, o := range c.Outputs {
+		live[o.Node] = true
+	}
+	for id := len(c.Nodes) - 1; id >= 0; id-- {
+		if !live[id] {
+			continue
+		}
+		for _, f := range c.Nodes[id].Fanin {
+			live[f] = true
+		}
+	}
+	for _, id := range c.Inputs {
+		live[id] = true
+	}
+	out := NewCircuit()
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for id, nd := range c.Nodes {
+		if !live[id] {
+			continue
+		}
+		switch nd.Type {
+		case Input:
+			nid := out.AddInput(nd.Name)
+			out.Nodes[nid].Var = nd.Var
+			remap[id] = nid
+		case Const:
+			remap[id] = out.AddConst(nd.Val)
+		default:
+			fanin := make([]NodeID, len(nd.Fanin))
+			for i, f := range nd.Fanin {
+				fanin[i] = remap[f]
+			}
+			nid := out.AddGate(nd.Type, fanin...)
+			out.Nodes[nid].Var = nd.Var
+			remap[id] = nid
+		}
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(remap[o.Node], o.Target)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// equivalentCircuits checks input-for-input output agreement (inputs must
+// match in count and order).
+func equivalentCircuits(a, b *Circuit) bool {
+	if len(a.Inputs) != len(b.Inputs) {
+		return false
+	}
+	n := len(a.Inputs)
+	if n > 16 {
+		n = 16
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		in := make([]bool, len(a.Inputs))
+		for i := 0; i < n; i++ {
+			in[i] = mask&(1<<i) != 0
+		}
+		if a.OutputsSatisfied(in) != b.OutputsSatisfied(in) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSweepConstantFolding(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	one := c.AddConst(true)
+	g := c.AddGate(And, a, one) // = a
+	c.MarkOutput(g, true)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics")
+	}
+	if s.NumGates() != 0 {
+		t.Errorf("AND with constant true not folded: %d gates remain", s.NumGates())
+	}
+}
+
+func TestSweepDominatingConstant(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	zero := c.AddConst(false)
+	g := c.AddGate(And, a, zero) // = 0
+	c.MarkOutput(g, false)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics")
+	}
+	if s.NumGates() != 0 {
+		t.Error("dominated AND not folded to constant")
+	}
+}
+
+func TestSweepMergesDuplicateGates(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, a, b)
+	g2 := c.AddGate(And, b, a) // structurally identical after sorting
+	o := c.AddGate(Or, g1, g2) // = g1
+	c.MarkOutput(o, true)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics")
+	}
+	if s.NumGates() > 1 {
+		t.Errorf("duplicate AND gates not merged: %d gates", s.NumGates())
+	}
+}
+
+func TestSweepBypassesBuffers(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b1 := c.AddGate(Buf, a)
+	b2 := c.AddGate(Buf, b1)
+	n := c.AddGate(Not, b2)
+	c.MarkOutput(n, true)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics")
+	}
+	if s.NumGates() != 1 {
+		t.Errorf("buffer chain not bypassed: %d gates", s.NumGates())
+	}
+}
+
+func TestSweepXorCancellation(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(Xor, a, a, b) // = b
+	c.MarkOutput(g, true)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics")
+	}
+	if s.NumGates() != 0 {
+		t.Errorf("xor self-cancellation missed: %d gates", s.NumGates())
+	}
+}
+
+func TestSweepDropsDeadLogic(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	c.AddGate(And, a, b) // dead: never marked as output
+	live := c.AddGate(Or, a, b)
+	c.MarkOutput(live, true)
+	s := c.Sweep()
+	if s.NumGates() != 1 {
+		t.Errorf("dead gate kept: %d gates", s.NumGates())
+	}
+	if len(s.Inputs) != 2 {
+		t.Error("inputs must be preserved")
+	}
+}
+
+func TestSweepNegatedGateForms(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	nand := c.AddGate(Nand, a, b)
+	nor := c.AddGate(Nor, a, b)
+	xnor := c.AddGate(Xnor, a, b)
+	g := c.AddGate(And, nand, c.AddGate(Or, nor, xnor))
+	c.MarkOutput(g, true)
+	s := c.Sweep()
+	if !equivalentCircuits(c, s) {
+		t.Fatal("sweep changed semantics of negated gate forms")
+	}
+}
+
+// TestSweepPreservesSemanticsProperty: random circuits survive sweeping.
+func TestSweepPreservesSemanticsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r, 4, 15)
+		s := c.Sweep()
+		if !equivalentCircuits(c, s) {
+			return false
+		}
+		// Sweeping never grows the bit-operation count (NumGates may grow
+		// when a NAND/NOR/XNOR splits into base gate + free inverter).
+		return s.OpCount2() <= c.OpCount2()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	c := randomCircuit(r, 4, 20)
+	s1 := c.Sweep()
+	s2 := s1.Sweep()
+	if s2.NumGates() != s1.NumGates() || s2.NumNodes() != s1.NumNodes() {
+		t.Errorf("sweep not idempotent: %d/%d nodes vs %d/%d",
+			s1.NumGates(), s1.NumNodes(), s2.NumGates(), s2.NumNodes())
+	}
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// TseitinResult carries the CNF encoding of a circuit together with the
+// variable bookkeeping needed to relate CNF models back to circuit values.
+type TseitinResult struct {
+	Formula  *cnf.Formula
+	NodeVar  []int // NodeVar[node] = CNF variable of that node (1-based)
+	InputVar []int // InputVar[i] = CNF variable of Inputs[i]
+}
+
+// Tseitin encodes the circuit as an equisatisfiable CNF using the clause
+// signatures from the paper's Eqs. (1)–(4): every node gets a fresh
+// variable, every gate contributes its defining clauses, and every output
+// contributes a unit clause fixing it to its target value. Buf nodes are
+// encoded as two-clause equalities (the "x3(x2) = x2" pattern in the
+// paper's Fig. 1 example).
+func (c *Circuit) Tseitin() *TseitinResult {
+	f := cnf.New(len(c.Nodes))
+	nodeVar := make([]int, len(c.Nodes))
+	for id := range c.Nodes {
+		nodeVar[id] = id + 1
+	}
+	lit := func(id NodeID, positive bool) cnf.Lit {
+		v := cnf.Lit(nodeVar[id])
+		if positive {
+			return v
+		}
+		return -v
+	}
+	for id, nd := range c.Nodes {
+		out := NodeID(id)
+		switch nd.Type {
+		case Input:
+			// free variable, no clauses
+		case Const:
+			f.AddClause(lit(out, nd.Val))
+		case Buf:
+			// f = x: (¬f ∨ x) ∧ (f ∨ ¬x)
+			x := nd.Fanin[0]
+			f.AddClause(lit(x, false), lit(out, true))
+			f.AddClause(lit(x, true), lit(out, false))
+		case Not:
+			// Eq. (1): (f ∨ x) ∧ (¬f ∨ ¬x)
+			x := nd.Fanin[0]
+			f.AddClause(lit(out, true), lit(x, true))
+			f.AddClause(lit(out, false), lit(x, false))
+		case Or, Nor:
+			// Eq. (2): (¬f ∨ ⋁xi) ∧ ⋀(f ∨ ¬xi); NOR inverts f.
+			pos := nd.Type == Or
+			big := make([]cnf.Lit, 0, len(nd.Fanin)+1)
+			big = append(big, lit(out, !pos))
+			for _, x := range nd.Fanin {
+				big = append(big, lit(x, true))
+			}
+			f.AddClause(big...)
+			for _, x := range nd.Fanin {
+				f.AddClause(lit(out, pos), lit(x, false))
+			}
+		case And, Nand:
+			// Eq. (3): (f ∨ ⋁¬xi) ∧ ⋀(¬f ∨ xi); NAND inverts f.
+			pos := nd.Type == And
+			big := make([]cnf.Lit, 0, len(nd.Fanin)+1)
+			big = append(big, lit(out, pos))
+			for _, x := range nd.Fanin {
+				big = append(big, lit(x, false))
+			}
+			f.AddClause(big...)
+			for _, x := range nd.Fanin {
+				f.AddClause(lit(out, !pos), lit(x, true))
+			}
+		case Xor, Xnor:
+			// Eq. (4): XNOR(x1..xn, f) for XOR gates — i.e. clauses forcing
+			// parity(x1..xn, f) = even (odd for XNOR). Encoded pairwise via
+			// a ladder of fresh variables to keep clause width at 3.
+			c.encodeParity(f, nd, out, lit)
+		default:
+			panic(fmt.Sprintf("circuit: unknown gate %v in Tseitin", nd.Type))
+		}
+	}
+	for _, o := range c.Outputs {
+		f.AddClause(lit(o.Node, o.Target))
+	}
+	inputVar := make([]int, len(c.Inputs))
+	for i, id := range c.Inputs {
+		inputVar[i] = nodeVar[id]
+	}
+	return &TseitinResult{Formula: f, NodeVar: nodeVar, InputVar: inputVar}
+}
+
+// encodeParity emits CNF for out = XOR(fanin...) (or XNOR) using a chain of
+// fresh ladder variables: t1 = x1⊕x2, t2 = t1⊕x3, …, out = t_{k-1} (with the
+// final link inverted for XNOR). Each 2-input XOR equality a=b⊕c costs the
+// four canonical clauses.
+func (c *Circuit) encodeParity(f *cnf.Formula, nd Node, out NodeID, lit func(NodeID, bool) cnf.Lit) {
+	xorEq := func(a, b, cc cnf.Lit) {
+		// a = b ⊕ c
+		f.AddClause(-a, b, cc)
+		f.AddClause(-a, -b, -cc)
+		f.AddClause(a, -b, cc)
+		f.AddClause(a, b, -cc)
+	}
+	fanin := nd.Fanin
+	cur := cnf.Lit(f.NumVars + 1)
+	f.NumVars++
+	xorEq(cur, lit(fanin[0], true), lit(fanin[1], true))
+	for i := 2; i < len(fanin); i++ {
+		next := cnf.Lit(f.NumVars + 1)
+		f.NumVars++
+		xorEq(next, cur, lit(fanin[i], true))
+		cur = next
+	}
+	o := lit(out, true)
+	if nd.Type == Xnor {
+		cur = -cur
+	}
+	// out = cur: two equality clauses.
+	f.AddClause(-o, cur)
+	f.AddClause(o, -cur)
+}

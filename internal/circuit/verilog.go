@@ -1,0 +1,134 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the circuit as a synthesizable structural Verilog
+// module using assign statements, one per gate. Outputs are emitted as
+// module ports named po0, po1, … (the constrained target values are
+// recorded in a trailing comment; Verilog has no notion of "output must be
+// 1" — that constraint lives in the sampling problem, not the netlist).
+// Inputs use their node names when set (sanitized), else pi<N>.
+func (c *Circuit) WriteVerilog(w io.Writer, moduleName string) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeIdent(moduleName)
+	if name == "" {
+		name = "top"
+	}
+
+	inName := make(map[NodeID]string, len(c.Inputs))
+	for i, id := range c.Inputs {
+		n := sanitizeIdent(c.Nodes[id].Name)
+		if n == "" {
+			n = fmt.Sprintf("pi%d", i)
+		}
+		inName[id] = n
+	}
+	sig := func(id NodeID) string {
+		if n, ok := inName[id]; ok {
+			return n
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+
+	var ports []string
+	for _, id := range c.Inputs {
+		ports = append(ports, inName[id])
+	}
+	for i := range c.Outputs {
+		ports = append(ports, fmt.Sprintf("po%d", i))
+	}
+	fmt.Fprintf(bw, "module %s(%s);\n", name, strings.Join(ports, ", "))
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", inName[id])
+	}
+	for i := range c.Outputs {
+		fmt.Fprintf(bw, "  output po%d;\n", i)
+	}
+	for id, nd := range c.Nodes {
+		if nd.Type != Input {
+			fmt.Fprintf(bw, "  wire %s;\n", sig(NodeID(id)))
+		}
+	}
+	for id, nd := range c.Nodes {
+		out := sig(NodeID(id))
+		switch nd.Type {
+		case Input:
+			// port only
+		case Const:
+			v := "1'b0"
+			if nd.Val {
+				v = "1'b1"
+			}
+			fmt.Fprintf(bw, "  assign %s = %s;\n", out, v)
+		case Buf:
+			fmt.Fprintf(bw, "  assign %s = %s;\n", out, sig(nd.Fanin[0]))
+		case Not:
+			fmt.Fprintf(bw, "  assign %s = ~%s;\n", out, sig(nd.Fanin[0]))
+		default:
+			op, invert := verilogOp(nd.Type)
+			terms := make([]string, len(nd.Fanin))
+			for i, f := range nd.Fanin {
+				terms[i] = sig(f)
+			}
+			rhs := strings.Join(terms, " "+op+" ")
+			if invert {
+				rhs = "~(" + rhs + ")"
+			}
+			fmt.Fprintf(bw, "  assign %s = %s;\n", out, rhs)
+		}
+	}
+	for i, o := range c.Outputs {
+		fmt.Fprintf(bw, "  assign po%d = %s; // constrained to 1'b%d\n",
+			i, sig(o.Node), b2i(o.Target))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func verilogOp(t GateType) (op string, invert bool) {
+	switch t {
+	case And:
+		return "&", false
+	case Nand:
+		return "&", true
+	case Or:
+		return "|", false
+	case Nor:
+		return "|", true
+	case Xor:
+		return "^", false
+	case Xnor:
+		return "^", true
+	}
+	panic(fmt.Sprintf("circuit: no verilog op for %v", t))
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogShape(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("a")
+	b := c.AddInput("3bad name") // must be sanitized
+	g := c.AddGate(Nand, a, b)
+	x := c.AddGate(Xor, a, g)
+	c.MarkOutput(x, true)
+
+	var sb strings.Builder
+	if err := c.WriteVerilog(&sb, "my top!"); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module my_top_(",
+		"input a;",
+		"input _3bad_name;",
+		"output po0;",
+		"~(a & _3bad_name)",
+		"^",
+		"assign po0 =",
+		"// constrained to 1'b1",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog output missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteVerilogAllGateTypes(t *testing.T) {
+	c := NewCircuit()
+	a := c.AddInput("")
+	b := c.AddInput("")
+	one := c.AddConst(true)
+	buf := c.AddGate(Buf, a)
+	not := c.AddGate(Not, b)
+	and := c.AddGate(And, a, b)
+	or := c.AddGate(Or, buf, not)
+	nor := c.AddGate(Nor, and, or)
+	xnor := c.AddGate(Xnor, nor, one)
+	c.MarkOutput(xnor, false)
+	var sb strings.Builder
+	if err := c.WriteVerilog(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{"module top(", "1'b1", "~(", "&", "|", "^", "constrained to 1'b0"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+	// Every wire must be assigned exactly once.
+	if strings.Count(v, "assign n") != c.NumNodes()-len(c.Inputs) {
+		t.Errorf("wrong number of assigns:\n%s", v)
+	}
+}

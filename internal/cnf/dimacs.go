@@ -1,0 +1,130 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF in DIMACS format. Comment lines ("c ...") are
+// ignored; the problem line ("p cnf <vars> <clauses>") is optional but, when
+// present, fixes NumVars (the clause count is checked loosely: extra or
+// fewer clauses only produce an error when strict problem-line accounting
+// is violated by a trailing junk token).
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	f := &Formula{}
+	declaredVars := -1
+	var cur Clause
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: bad problem line %d: %q", line, text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("cnf: bad variable count on line %d: %q", line, text)
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("cnf: bad clause count on line %d: %q", line, text)
+			}
+			declaredVars = nv
+			continue
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad token %q on line %d", tok, line)
+			}
+			if n == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, Lit(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("cnf: unterminated clause at end of input")
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	return f, nil
+}
+
+// ParseDIMACSString parses a DIMACS CNF from a string.
+func ParseDIMACSString(s string) (*Formula, error) {
+	return ParseDIMACS(strings.NewReader(s))
+}
+
+// ReadDIMACSFile parses a DIMACS CNF file from disk.
+func ReadDIMACSFile(path string) (*Formula, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ParseDIMACS(fh)
+}
+
+// WriteDIMACS writes the formula in DIMACS format, with an optional list of
+// comment lines emitted before the problem line.
+func (f *Formula) WriteDIMACS(w io.Writer, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DIMACSString renders the formula as a DIMACS string.
+func (f *Formula) DIMACSString(comments ...string) string {
+	var b strings.Builder
+	if err := f.WriteDIMACS(&b, comments...); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+// WriteDIMACSFile writes the formula to a file.
+func (f *Formula) WriteDIMACSFile(path string, comments ...string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteDIMACS(fh, comments...); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -1,0 +1,242 @@
+package cnf
+
+import "sort"
+
+// SimplifyResult reports what a preprocessing pass did.
+type SimplifyResult struct {
+	UnitsFixed         int // variables fixed by unit propagation
+	TautologiesRemoved int
+	Subsumed           int // clauses removed by subsumption
+	Strengthened       int // literals removed by self-subsumption
+	PureFixed          int // variables fixed by pure-literal elimination
+}
+
+// Simplify applies standard CNF preprocessing in place: unit propagation,
+// tautology removal, duplicate-literal removal, forward subsumption,
+// self-subsuming resolution, and pure-literal elimination, iterated to a
+// fixpoint. The simplified formula is equisatisfiable with the original
+// (pure-literal elimination preserves satisfiability, not model count) —
+// use it for solving pipelines, not for counting or sampling pipelines.
+// It returns the accumulated statistics and false when the formula was
+// found unsatisfiable.
+func (f *Formula) Simplify() (SimplifyResult, bool) {
+	var res SimplifyResult
+	fixed := map[int]bool{} // var -> value, from units and pure literals
+	for {
+		progress := false
+
+		// Normalize: drop tautologies and duplicate literals, apply fixed.
+		out := f.Clauses[:0]
+		for _, c := range f.Clauses {
+			norm, taut := c.Normalize()
+			if taut {
+				res.TautologiesRemoved++
+				progress = true
+				continue
+			}
+			keep := norm[:0]
+			sat := false
+			for _, l := range norm {
+				if val, ok := fixed[l.Var()]; ok {
+					if l.Sat(val) {
+						sat = true
+						break
+					}
+					continue // false literal dropped
+				}
+				keep = append(keep, l)
+			}
+			if sat {
+				progress = true
+				continue
+			}
+			if len(keep) == 0 {
+				return res, false
+			}
+			if len(keep) == 1 {
+				v := keep[0].Var()
+				val := keep[0].Positive()
+				if cur, ok := fixed[v]; ok && cur != val {
+					return res, false
+				}
+				if _, ok := fixed[v]; !ok {
+					fixed[v] = val
+					res.UnitsFixed++
+					progress = true
+				}
+				continue
+			}
+			out = append(out, keep)
+		}
+		f.Clauses = out
+
+		// Forward subsumption + self-subsuming resolution via signatures.
+		if f.subsumptionPass(&res) {
+			progress = true
+		}
+
+		// Pure literals: variables occurring in a single polarity.
+		polarity := make(map[int]int8) // 1 pos only, 2 neg only, 3 both
+		for _, c := range f.Clauses {
+			for _, l := range c {
+				if l.Positive() {
+					polarity[l.Var()] |= 1
+				} else {
+					polarity[l.Var()] |= 2
+				}
+			}
+		}
+		for v, p := range polarity {
+			if _, ok := fixed[v]; ok {
+				continue
+			}
+			if p == 1 || p == 2 {
+				fixed[v] = p == 1
+				res.PureFixed++
+				progress = true
+			}
+		}
+
+		if !progress {
+			break
+		}
+	}
+	// Re-inject fixed variables as units so the formula remains
+	// self-contained.
+	for v, val := range fixed {
+		l := Lit(v)
+		if !val {
+			l = -l
+		}
+		f.Clauses = append(f.Clauses, Clause{l})
+	}
+	sort.Slice(f.Clauses, func(i, j int) bool {
+		return clauseLess(f.Clauses[i], f.Clauses[j])
+	})
+	return res, true
+}
+
+func clauseLess(a, b Clause) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// signature is a 64-bit Bloom-style clause abstraction: bit v%64 set for
+// each variable. A clause can only subsume another when its signature is a
+// subset of the other's.
+func signature(c Clause) uint64 {
+	var s uint64
+	for _, l := range c {
+		s |= 1 << (uint(l.Var()) % 64)
+	}
+	return s
+}
+
+// subsumptionPass removes subsumed clauses and strengthens clauses by
+// self-subsuming resolution. Returns true when anything changed.
+func (f *Formula) subsumptionPass(res *SimplifyResult) bool {
+	changed := false
+	// Sort by length so shorter (stronger) clauses come first.
+	sort.Slice(f.Clauses, func(i, j int) bool { return len(f.Clauses[i]) < len(f.Clauses[j]) })
+	sigs := make([]uint64, len(f.Clauses))
+	for i, c := range f.Clauses {
+		sigs[i] = signature(c)
+	}
+	removed := make([]bool, len(f.Clauses))
+	for i, c := range f.Clauses {
+		if removed[i] {
+			continue
+		}
+		for j := i + 1; j < len(f.Clauses); j++ {
+			if removed[j] {
+				continue
+			}
+			if sigs[i]&^sigs[j] != 0 {
+				continue
+			}
+			switch subsumes(c, f.Clauses[j]) {
+			case subsumeFull:
+				removed[j] = true
+				res.Subsumed++
+				changed = true
+			case subsumeSelf:
+				// c subsumes f.Clauses[j] after flipping one literal:
+				// remove that literal from clause j.
+				f.Clauses[j] = strengthen(c, f.Clauses[j])
+				sigs[j] = signature(f.Clauses[j])
+				res.Strengthened++
+				changed = true
+			}
+		}
+	}
+	if changed {
+		out := f.Clauses[:0]
+		for i, c := range f.Clauses {
+			if !removed[i] {
+				out = append(out, c)
+			}
+		}
+		f.Clauses = out
+	}
+	return changed
+}
+
+type subsumeKind uint8
+
+const (
+	subsumeNone subsumeKind = iota
+	subsumeFull             // a ⊆ b
+	subsumeSelf             // a ⊆ b with exactly one literal negated
+)
+
+// subsumes reports whether every literal of a appears in b (full), or all
+// but exactly one literal which appears negated (self-subsumption).
+func subsumes(a, b Clause) subsumeKind {
+	if len(a) > len(b) {
+		return subsumeNone
+	}
+	flips := 0
+	for _, la := range a {
+		found := false
+		for _, lb := range b {
+			if la == lb {
+				found = true
+				break
+			}
+			if la == -lb {
+				found = true
+				flips++
+				break
+			}
+		}
+		if !found {
+			return subsumeNone
+		}
+	}
+	switch flips {
+	case 0:
+		return subsumeFull
+	case 1:
+		return subsumeSelf
+	}
+	return subsumeNone
+}
+
+// strengthen removes from b the literal whose negation appears in a.
+func strengthen(a, b Clause) Clause {
+	for _, la := range a {
+		for k, lb := range b {
+			if la == -lb {
+				out := make(Clause, 0, len(b)-1)
+				out = append(out, b[:k]...)
+				out = append(out, b[k+1:]...)
+				return out
+			}
+		}
+	}
+	return b
+}

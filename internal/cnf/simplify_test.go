@@ -1,0 +1,173 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyUnitPropagation(t *testing.T) {
+	f := New(3)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	res, ok := f.Simplify()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if res.UnitsFixed < 1 {
+		t.Errorf("units fixed = %d want >= 1", res.UnitsFixed)
+	}
+	// All three variables end fixed true; formula must be three units.
+	if !f.Sat([]bool{true, true, true}) {
+		t.Error("all-true no longer a model")
+	}
+}
+
+func TestSimplifyDetectsUnsat(t *testing.T) {
+	f := New(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	if _, ok := f.Simplify(); ok {
+		t.Error("unsat not detected")
+	}
+}
+
+func TestSimplifyRemovesTautologies(t *testing.T) {
+	f := New(2)
+	f.Clauses = append(f.Clauses, Clause{1, -1, 2})
+	f.AddClause(1, 2)
+	res, ok := f.Simplify()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if res.TautologiesRemoved != 1 {
+		t.Errorf("tautologies removed = %d want 1", res.TautologiesRemoved)
+	}
+}
+
+func TestSimplifySubsumption(t *testing.T) {
+	f := New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, 2, 3) // subsumed by (1 2)
+	res, ok := f.Simplify()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if res.Subsumed != 1 {
+		t.Errorf("subsumed = %d want 1", res.Subsumed)
+	}
+}
+
+func TestSimplifySelfSubsumption(t *testing.T) {
+	f := New(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2, 3) // strengthens to (2 3)
+	// Avoid pure-literal elimination swallowing everything by adding both
+	// polarities of 2 and 3.
+	f.AddClause(-2, -3, 1)
+	res, ok := f.Simplify()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if res.Strengthened < 1 {
+		t.Errorf("strengthened = %d want >= 1", res.Strengthened)
+	}
+}
+
+func TestSimplifyPureLiteral(t *testing.T) {
+	f := New(2)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2)
+	res, ok := f.Simplify()
+	if !ok {
+		t.Fatal("unexpected unsat")
+	}
+	if res.PureFixed < 1 {
+		t.Errorf("pure fixed = %d want >= 1 (x1 occurs only positively)", res.PureFixed)
+	}
+	if !f.Sat([]bool{true, true}) {
+		t.Error("x1=1 models lost")
+	}
+}
+
+// TestSimplifyPreservesSatisfiabilityProperty: random formulas keep their
+// SAT/UNSAT verdict through preprocessing (checked by brute force).
+func TestSimplifyPreservesSatisfiabilityProperty(t *testing.T) {
+	bruteSat := func(f *Formula) bool {
+		for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+			assign := make([]bool, f.NumVars)
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if f.Sat(assign) {
+				return true
+			}
+		}
+		return len(f.Clauses) == 0
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nv := 2 + r.Intn(6)
+		f := New(nv)
+		for i := 0; i < 2+r.Intn(3*nv); i++ {
+			k := 1 + r.Intn(3)
+			c := make([]Lit, k)
+			for j := range c {
+				v := 1 + r.Intn(nv)
+				if r.Intn(2) == 0 {
+					c[j] = Lit(v)
+				} else {
+					c[j] = Lit(-v)
+				}
+			}
+			f.AddClause(c...)
+		}
+		before := bruteSat(f)
+		g := f.Clone()
+		_, ok := g.Simplify()
+		if !ok {
+			return !before // reported unsat must mean actually unsat
+		}
+		after := bruteSat(g)
+		return before == after
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumesKinds(t *testing.T) {
+	cases := []struct {
+		a, b Clause
+		want subsumeKind
+	}{
+		{Clause{1, 2}, Clause{1, 2, 3}, subsumeFull},
+		{Clause{1, 2}, Clause{-1, 2, 3}, subsumeSelf},
+		{Clause{1, 2}, Clause{1, 3}, subsumeNone},
+		{Clause{1, 2, 3, 4}, Clause{1, 2}, subsumeNone},
+		{Clause{1, -2}, Clause{-1, 2, 3}, subsumeNone}, // two flips
+		{Clause{1}, Clause{1, 2}, subsumeFull},
+		{Clause{-1}, Clause{1, 2}, subsumeSelf},
+	}
+	for i, c := range cases {
+		if got := subsumes(c.a, c.b); got != c.want {
+			t.Errorf("case %d: subsumes(%v,%v) = %v want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrengthen(t *testing.T) {
+	got := strengthen(Clause{-1, 2}, Clause{1, 2, 3})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("strengthen = %v want [2 3]", got)
+	}
+}
+
+func TestSignatureSubsetCheck(t *testing.T) {
+	a := Clause{1, 2}
+	b := Clause{1, 2, 3}
+	if signature(a)&^signature(b) != 0 {
+		t.Error("subset clause has non-subset signature")
+	}
+}

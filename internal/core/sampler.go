@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/extract"
+	"repro/internal/tensor"
+)
+
+// Config controls the gradient-descent sampler. Zero fields take the
+// defaults noted on each field (the paper's settings where applicable).
+type Config struct {
+	// BatchSize is the number of candidate solutions learned in parallel
+	// per round (paper: 100 … 1,000,000 depending on instance). Default 1024.
+	BatchSize int
+	// Iterations is the number of GD steps per round (paper: 5). Default 5.
+	Iterations int
+	// LearningRate is the GD step size (paper: 10). Default 10.
+	LearningRate float32
+	// Seed seeds the input initialization; rounds advance the stream.
+	Seed int64
+	// Device selects sequential or data-parallel execution.
+	Device tensor.Device
+	// InitRange bounds the uniform initialization of the soft inputs V in
+	// [-InitRange, +InitRange]. Default 2.
+	InitRange float32
+	// Momentum adds classical momentum to the GD update
+	// (m ← Momentum·m + g; V ← V − lr·m). The paper uses plain GD
+	// (Momentum = 0); this is an optimizer extension evaluated by the
+	// ablation benchmarks.
+	Momentum float32
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 10
+	}
+	if c.InitRange == 0 {
+		c.InitRange = 2
+	}
+	if c.Device.Workers() < 1 {
+		c.Device = tensor.Sequential()
+	}
+	return c
+}
+
+// Stats accumulates sampling progress.
+type Stats struct {
+	Rounds     int           // GD rounds executed
+	Iterations int           // total GD iterations
+	Candidates int           // hardened batch rows examined
+	Valid      int           // rows that verified against the CNF
+	Unique     int           // distinct valid solutions retained
+	Elapsed    time.Duration // wall-clock time in Sample/Run calls
+	FinalLoss  float64       // ℓ2 loss after the last round
+}
+
+// Throughput returns unique solutions per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Unique) / s.Elapsed.Seconds()
+}
+
+// Sampler learns diverse satisfying assignments for one transformed SAT
+// instance. It is not safe for concurrent use; the batch rows themselves
+// are processed in parallel internally according to Config.Device.
+type Sampler struct {
+	cfg     Config
+	formula *cnf.Formula
+	ext     *extract.Result
+	prog    *program
+
+	vmat  *tensor.Matrix // soft inputs V ∈ R^{batch×n}
+	mmat  *tensor.Matrix // momentum accumulator (nil when Momentum == 0)
+	vals  []float32      // slot-major forward values
+	grads []float32      // slot-major adjoints
+	hard  []bool         // hardened bits, row-major batch×n
+
+	unique map[string]struct{}
+	sols   [][]bool // unique PI assignments in discovery order
+	round  int64
+	stats  Stats
+}
+
+// New builds a sampler from a CNF and its transformation result.
+func New(f *cnf.Formula, ext *extract.Result, cfg Config) (*Sampler, error) {
+	if len(ext.Circuit.Inputs) == 0 {
+		return nil, errors.New("core: transformed circuit has no primary inputs")
+	}
+	cfg = cfg.withDefaults()
+	s := &Sampler{
+		cfg:     cfg,
+		formula: f,
+		ext:     ext,
+		prog:    compile(ext.Circuit),
+		unique:  map[string]struct{}{},
+	}
+	n := len(s.prog.inputs)
+	s.vmat = tensor.NewMatrix(cfg.BatchSize, n)
+	if cfg.Momentum != 0 {
+		s.mmat = tensor.NewMatrix(cfg.BatchSize, n)
+	}
+	s.vals = make([]float32, s.prog.numSlots*cfg.BatchSize)
+	s.grads = make([]float32, s.prog.numSlots*cfg.BatchSize)
+	s.hard = make([]bool, cfg.BatchSize*n)
+	return s, nil
+}
+
+// NewFromCNF transforms f with extract.Transform and builds a sampler.
+func NewFromCNF(f *cnf.Formula, cfg Config) (*Sampler, error) {
+	ext, err := extract.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	return New(f, ext, cfg)
+}
+
+// Extraction returns the transformation result backing this sampler.
+func (s *Sampler) Extraction() *extract.Result { return s.ext }
+
+// NumInputs returns the primary-input count of the learned function.
+func (s *Sampler) NumInputs() int { return len(s.prog.inputs) }
+
+// Stats returns a snapshot of accumulated statistics.
+func (s *Sampler) Stats() Stats { return s.stats }
+
+// Solutions returns the unique satisfying primary-input assignments found
+// so far, in discovery order. The slices are owned by the sampler.
+func (s *Sampler) Solutions() [][]bool { return s.sols }
+
+// FullAssignment expands a primary-input solution into a dense CNF
+// assignment (assign[v-1] = value of CNF variable v).
+func (s *Sampler) FullAssignment(sol []bool) []bool {
+	return s.ext.AssignmentFromInputs(s.formula.NumVars, sol)
+}
+
+// Round runs one batch round: initialize V, run Config.Iterations GD steps,
+// harden, verify, and fold new unique solutions into the pool. It returns
+// the number of new unique solutions discovered this round.
+func (s *Sampler) Round() int {
+	start := time.Now()
+	defer func() { s.stats.Elapsed += time.Since(start) }()
+	s.initRound()
+	for it := 0; it < s.cfg.Iterations; it++ {
+		s.step()
+	}
+	s.stats.Rounds++
+	return s.collect()
+}
+
+// RoundTrace runs one round but hardens and collects after every GD
+// iteration, returning the cumulative unique-solution count after each
+// iteration (index 0 = before any GD step). This regenerates the paper's
+// Fig. 3 (left) learning curve.
+func (s *Sampler) RoundTrace() []int {
+	start := time.Now()
+	defer func() { s.stats.Elapsed += time.Since(start) }()
+	s.initRound()
+	s.stats.Rounds++
+	curve := make([]int, 0, s.cfg.Iterations+1)
+	s.collect()
+	curve = append(curve, s.stats.Unique)
+	for it := 0; it < s.cfg.Iterations; it++ {
+		s.step()
+		s.collect()
+		curve = append(curve, s.stats.Unique)
+	}
+	return curve
+}
+
+// SampleUntil runs rounds until target unique solutions are found or the
+// timeout elapses (timeout <= 0 means no timeout). It returns the stats
+// snapshot at completion.
+func (s *Sampler) SampleUntil(target int, timeout time.Duration) Stats {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	stale := 0
+	for s.stats.Unique < target {
+		gained := s.Round()
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		// Saturation guard: rounds are independent restarts, so a long run
+		// of zero-gain rounds means the reachable solution set is exhausted.
+		if gained == 0 {
+			stale++
+			if stale >= 64 && s.stats.Unique > 0 {
+				break
+			}
+		} else {
+			stale = 0
+		}
+	}
+	return s.stats
+}
+
+// initRound fills V with fresh uniform noise.
+func (s *Sampler) initRound() {
+	seed := s.cfg.Seed + 0x5DEECE66D*s.round
+	s.round++
+	s.vmat.Randomize(s.cfg.Device, seed, -s.cfg.InitRange, s.cfg.InitRange)
+	if s.mmat != nil {
+		s.mmat.Fill(0)
+	}
+}
+
+// step performs one GD iteration: P = σ(V); forward; seed output adjoints
+// with dL/dY = 2(Y−T); backward; V -= lr · dL/dP · P(1−P).
+func (s *Sampler) step() {
+	batch := s.cfg.BatchSize
+	n := len(s.prog.inputs)
+	d := s.cfg.Device
+	lr := s.cfg.LearningRate
+	loss := make([]float64, d.Workers())
+	slot := make(chan int, d.Workers())
+	for i := 0; i < d.Workers(); i++ {
+		slot <- i
+	}
+	d.Run(batch, func(lo, hi int) {
+		w := <-slot
+		defer func() { slot <- w }()
+		// Embedding: P = σ(V) into the input slots (slot-major).
+		for i := 0; i < n; i++ {
+			col := s.vals[int(s.prog.inputs[i])*batch:]
+			for r := lo; r < hi; r++ {
+				col[r] = sigmoid32(s.vmat.At(r, i))
+			}
+		}
+		s.prog.forward(s.vals, batch, lo, hi)
+		// Zero adjoints and seed outputs.
+		for sl := 0; sl < s.prog.numSlots; sl++ {
+			g := s.grads[sl*batch:]
+			for r := lo; r < hi; r++ {
+				g[r] = 0
+			}
+		}
+		sum := 0.0
+		for _, o := range s.prog.outputs {
+			y := s.vals[int(o.slot)*batch:]
+			g := s.grads[int(o.slot)*batch:]
+			for r := lo; r < hi; r++ {
+				diff := y[r] - o.target
+				sum += float64(diff) * float64(diff)
+				g[r] += 2 * diff
+			}
+		}
+		loss[w] += sum
+		s.prog.backward(s.vals, s.grads, batch, lo, hi)
+		// Input update through the sigmoid embedding (optionally with
+		// classical momentum).
+		mom := s.cfg.Momentum
+		for i := 0; i < n; i++ {
+			sl := int(s.prog.inputs[i])
+			p := s.vals[sl*batch:]
+			g := s.grads[sl*batch:]
+			for r := lo; r < hi; r++ {
+				dv := g[r] * p[r] * (1 - p[r])
+				if s.mmat != nil {
+					dv += mom * s.mmat.At(r, i)
+					s.mmat.Set(r, i, dv)
+				}
+				s.vmat.Set(r, i, s.vmat.At(r, i)-lr*dv)
+			}
+		}
+	})
+	total := 0.0
+	for _, l := range loss {
+		total += l
+	}
+	s.stats.FinalLoss = total
+	s.stats.Iterations++
+}
+
+// collect hardens V, verifies each row against the CNF, and folds new
+// unique solutions into the pool. It returns the number of new uniques.
+func (s *Sampler) collect() int {
+	batch := s.cfg.BatchSize
+	n := len(s.prog.inputs)
+	tensor.Harden(s.cfg.Device, s.hard, s.vmat, 0)
+	newUnique := 0
+	key := make([]byte, (n+7)/8)
+	for r := 0; r < batch; r++ {
+		row := s.hard[r*n : (r+1)*n]
+		s.stats.Candidates++
+		for i := range key {
+			key[i] = 0
+		}
+		for i, b := range row {
+			if b {
+				key[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, dup := s.unique[string(key)]; dup {
+			continue
+		}
+		assign := s.ext.AssignmentFromInputs(s.formula.NumVars, row)
+		if !s.formula.Sat(assign) {
+			continue
+		}
+		s.stats.Valid++
+		s.unique[string(key)] = struct{}{}
+		sol := append([]bool(nil), row...)
+		s.sols = append(s.sols, sol)
+		newUnique++
+	}
+	s.stats.Unique = len(s.unique)
+	return newUnique
+}
+
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// MemoryEstimate returns the resident bytes the sampler's tensors occupy
+// for a hypothetical batch size (the Fig. 3 right memory model): forward
+// values + adjoints (numSlots each) and the input matrices (V plus the
+// hardened bits).
+func (s *Sampler) MemoryEstimate(batch int) int64 {
+	n := int64(len(s.prog.inputs))
+	slots := int64(s.prog.numSlots)
+	b := int64(batch)
+	return 4*b*(2*slots+n) + b*n // float32 buffers + 1 byte per hard bit
+}
+
+// String describes the sampler configuration.
+func (s *Sampler) String() string {
+	return fmt.Sprintf("core.Sampler{inputs=%d slots=%d ops=%d batch=%d iters=%d lr=%g device=%s}",
+		s.NumInputs(), s.prog.numSlots, s.prog.OpCount(), s.cfg.BatchSize,
+		s.cfg.Iterations, s.cfg.LearningRate, s.cfg.Device.Name())
+}

@@ -1,0 +1,356 @@
+// Package harness drives the paper's experiments end to end: it wires the
+// benchmark generator, the transformation, the core gradient-descent
+// sampler and the three baselines together and renders the rows/series the
+// paper reports — Table II (throughput), Fig. 2 (latency vs unique
+// solutions), Fig. 3 (learning dynamics and memory) and Fig. 4 (device
+// ablation, ops reduction, transformation time).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/benchgen"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/tensor"
+)
+
+// RunOptions configure an experiment run. Zero values take defaults chosen
+// so the full suite completes on a laptop in minutes (the paper's 2-hour
+// timeouts are impractical in CI; scale Timeout up for closer replication).
+type RunOptions struct {
+	// Target is the minimum number of unique solutions requested from every
+	// sampler (paper: 1000).
+	Target int
+	// Timeout bounds each sampler on each instance (paper: 2h).
+	Timeout time.Duration
+	// Device used by the gradient-based samplers.
+	Device tensor.Device
+	// MemoryBudget bounds the core sampler's tensor allocation per
+	// instance; the batch size adapts to it. Default 256 MiB.
+	MemoryBudget int64
+	// Seed for all randomized components.
+	Seed int64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Target <= 0 {
+		o.Target = 1000
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Device.Workers() < 1 {
+		o.Device = tensor.Parallel()
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 256 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// CoreSampler adapts core.Sampler to the baselines.Sampler interface so all
+// four samplers can be driven uniformly. Solutions are expanded to full CNF
+// assignments for apples-to-apples uniqueness accounting.
+type CoreSampler struct {
+	s       *core.Sampler
+	lastRes baselines.Stats
+}
+
+// NewCoreSampler transforms f and builds the adapter. The batch size adapts
+// to the instance size under the memory budget.
+func NewCoreSampler(f *cnf.Formula, opt RunOptions) (*CoreSampler, error) {
+	opt = opt.withDefaults()
+	ext, err := extract.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewCoreSamplerFromExtract(f, ext, opt)
+}
+
+// NewCoreSamplerFromExtract builds the adapter over a prior transformation
+// (lets callers account transformation time separately).
+func NewCoreSamplerFromExtract(f *cnf.Formula, ext *extract.Result, opt RunOptions) (*CoreSampler, error) {
+	opt = opt.withDefaults()
+	probe, err := core.New(f, ext, core.Config{BatchSize: 1, Device: opt.Device, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	perRow := probe.MemoryEstimate(1)
+	batch := int(opt.MemoryBudget / maxI64(perRow, 1))
+	if batch < 64 {
+		batch = 64
+	}
+	// Cap the batch: beyond ~8k rows per round the extra throughput is
+	// marginal on CPU but the first-round latency (what Fig. 2 plots at
+	// small solution counts) grows linearly.
+	if batch > 8192 {
+		batch = 8192
+	}
+	s, err := core.New(f, ext, core.Config{
+		BatchSize: batch,
+		Device:    opt.Device,
+		Seed:      opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CoreSampler{s: s}, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements baselines.Sampler.
+func (c *CoreSampler) Name() string { return "this-work" }
+
+// Inner returns the wrapped core sampler.
+func (c *CoreSampler) Inner() *core.Sampler { return c.s }
+
+// Sample implements baselines.Sampler.
+func (c *CoreSampler) Sample(target int, timeout time.Duration) baselines.Stats {
+	st := c.s.SampleUntil(target, timeout)
+	c.lastRes = baselines.Stats{
+		Unique:  st.Unique,
+		Calls:   st.Rounds,
+		Elapsed: st.Elapsed,
+		Timeout: st.Unique < target,
+	}
+	return c.lastRes
+}
+
+// Solutions implements baselines.Sampler.
+func (c *CoreSampler) Solutions() [][]bool {
+	sols := c.s.Solutions()
+	out := make([][]bool, len(sols))
+	for i, sol := range sols {
+		out[i] = c.s.FullAssignment(sol)
+	}
+	return out
+}
+
+// buildBaselines constructs the three comparison samplers for an instance.
+// The UniGen-style sampler receives the instance's input variables as its
+// sampling set, matching the independent-support annotations the real tool
+// consumes on the Meel benchmark suite.
+func buildBaselines(in *benchgen.Instance, opt RunOptions) []baselines.Sampler {
+	return []baselines.Sampler{
+		baselines.NewUniGenLike(in.Formula, opt.Seed).WithSamplingSet(in.Enc.InputVar),
+		baselines.NewCMSGenLike(in.Formula, opt.Seed),
+		baselines.NewDiffSampler(in.Formula, opt.Seed, opt.Device),
+	}
+}
+
+// Table2Row is one row of the Table II reproduction.
+type Table2Row struct {
+	Instance   string
+	PI, PO     int
+	Vars       int
+	Clauses    int
+	Throughput map[string]float64 // sampler name -> unique solutions/sec
+	Unique     map[string]int     // sampler name -> solutions found
+	TimedOut   map[string]bool
+	Speedup    float64 // this-work vs best baseline
+}
+
+// RunTable2 reproduces Table II on the given instances.
+func RunTable2(instances []*benchgen.Instance, opt RunOptions) []Table2Row {
+	opt = opt.withDefaults()
+	rows := make([]Table2Row, 0, len(instances))
+	for _, in := range instances {
+		rows = append(rows, runTable2Instance(in, opt))
+	}
+	return rows
+}
+
+func runTable2Instance(in *benchgen.Instance, opt RunOptions) Table2Row {
+	pi, po, vars, clauses := in.Stats()
+	row := Table2Row{
+		Instance:   in.Name,
+		PI:         pi,
+		PO:         po,
+		Vars:       vars,
+		Clauses:    clauses,
+		Throughput: map[string]float64{},
+		Unique:     map[string]int{},
+		TimedOut:   map[string]bool{},
+	}
+	run := func(s baselines.Sampler) {
+		st := s.Sample(opt.Target, opt.Timeout)
+		row.Throughput[s.Name()] = st.Throughput()
+		row.Unique[s.Name()] = st.Unique
+		row.TimedOut[s.Name()] = st.Timeout && st.Unique < opt.Target
+	}
+	ours, err := NewCoreSampler(in.Formula, opt)
+	if err == nil {
+		run(ours)
+	} else {
+		row.TimedOut["this-work"] = true
+	}
+	for _, b := range buildBaselines(in, opt) {
+		run(b)
+	}
+	best := 0.0
+	for name, tp := range row.Throughput {
+		if name != "this-work" && tp > best {
+			best = tp
+		}
+	}
+	if best > 0 {
+		row.Speedup = row.Throughput["this-work"] / best
+	}
+	return row
+}
+
+// Fig2Point is one (sampler, instance, unique-count, latency) sample for
+// the Fig. 2 log-log scatter.
+type Fig2Point struct {
+	Sampler   string
+	Instance  string
+	Unique    int
+	LatencyMs float64
+}
+
+// RunFig2 sweeps solution-count thresholds per sampler per instance,
+// reusing each sampler's accumulated pool so latency is cumulative, exactly
+// like the paper's runtime-versus-count scatter.
+func RunFig2(instances []*benchgen.Instance, thresholds []int, opt RunOptions) []Fig2Point {
+	opt = opt.withDefaults()
+	if len(thresholds) == 0 {
+		thresholds = []int{10, 100, 1000}
+	}
+	var pts []Fig2Point
+	for _, in := range instances {
+		samplers := buildBaselines(in, opt)
+		if ours, err := NewCoreSampler(in.Formula, opt); err == nil {
+			samplers = append([]baselines.Sampler{ours}, samplers...)
+		}
+		for _, s := range samplers {
+			for _, th := range thresholds {
+				st := s.Sample(th, opt.Timeout)
+				pts = append(pts, Fig2Point{
+					Sampler:   s.Name(),
+					Instance:  in.Name,
+					Unique:    st.Unique,
+					LatencyMs: float64(st.Elapsed.Microseconds()) / 1000,
+				})
+				if st.Unique < th {
+					break // timed out or exhausted; larger thresholds won't improve
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Fig3Result bundles the learning-dynamics sweep for one instance.
+type Fig3Result struct {
+	Instance string
+	// Curve[i] is the cumulative unique-solution count after i GD
+	// iterations within one traced round (Fig. 3 left).
+	Curve []int
+	// MemoryMB maps batch size to estimated tensor memory in MiB
+	// (Fig. 3 right).
+	MemoryMB map[int]float64
+}
+
+// RunFig3 reproduces Fig. 3 on the given instances.
+func RunFig3(instances []*benchgen.Instance, iterations int, batches []int, opt RunOptions) []Fig3Result {
+	opt = opt.withDefaults()
+	if iterations <= 0 {
+		iterations = 10
+	}
+	if len(batches) == 0 {
+		batches = []int{100, 1000, 10000, 100000, 1000000}
+	}
+	var out []Fig3Result
+	for _, in := range instances {
+		res := Fig3Result{Instance: in.Name, MemoryMB: map[int]float64{}}
+		ext, err := extract.Transform(in.Formula)
+		if err != nil {
+			continue
+		}
+		tracer, err := core.New(in.Formula, ext, core.Config{
+			BatchSize:  2048,
+			Iterations: iterations,
+			Device:     opt.Device,
+			Seed:       opt.Seed,
+		})
+		if err != nil {
+			continue
+		}
+		res.Curve = tracer.RoundTrace()
+		for _, b := range batches {
+			res.MemoryMB[b] = float64(tracer.MemoryEstimate(b)) / (1 << 20)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Fig4Row is the three-part ablation for one instance: device speedup,
+// ops reduction, transformation time.
+type Fig4Row struct {
+	Instance      string
+	SeqThroughput float64 // unique sol/s, sequential device
+	ParThroughput float64 // unique sol/s, parallel device
+	Speedup       float64 // parallel over sequential
+	OpsCNF        int
+	OpsCircuit    int
+	OpsReduction  float64
+	TransformTime time.Duration
+}
+
+// RunFig4 reproduces Fig. 4 on the given instances.
+func RunFig4(instances []*benchgen.Instance, opt RunOptions) []Fig4Row {
+	opt = opt.withDefaults()
+	var rows []Fig4Row
+	for _, in := range instances {
+		ext, err := extract.Transform(in.Formula)
+		if err != nil {
+			continue
+		}
+		row := Fig4Row{
+			Instance:      in.Name,
+			OpsCNF:        in.Formula.OpCount2(),
+			OpsCircuit:    ext.Circuit.OpCount2(),
+			TransformTime: ext.TransformTime,
+		}
+		if row.OpsCircuit > 0 {
+			row.OpsReduction = float64(row.OpsCNF) / float64(row.OpsCircuit)
+		}
+		measure := func(dev tensor.Device) float64 {
+			o := opt
+			o.Device = dev
+			s, err := NewCoreSamplerFromExtract(in.Formula, ext, o)
+			if err != nil {
+				return 0
+			}
+			st := s.Sample(opt.Target, opt.Timeout)
+			return st.Throughput()
+		}
+		row.SeqThroughput = measure(tensor.Sequential())
+		row.ParThroughput = measure(opt.Device)
+		if row.SeqThroughput > 0 {
+			row.Speedup = row.ParThroughput / row.SeqThroughput
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// InstanceSummary describes an instance the way Table II's left columns do.
+func InstanceSummary(in *benchgen.Instance) string {
+	pi, po, vars, clauses := in.Stats()
+	return fmt.Sprintf("%-22s PI=%-5d PO=%-4d vars=%-7d clauses=%d", in.Name, pi, po, vars, clauses)
+}

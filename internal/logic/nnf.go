@@ -1,0 +1,168 @@
+package logic
+
+import "sort"
+
+// ToNNF returns an equivalent expression in negation normal form: negations
+// appear only directly above variables, and XORs are expanded into
+// AND/OR/NOT form. The result can be exponentially larger for deep XOR
+// towers (inherent to NNF).
+func ToNNF(e *Expr) *Expr {
+	return nnf(e, false)
+}
+
+func nnf(e *Expr, negate bool) *Expr {
+	switch e.Op {
+	case OpConst:
+		return Const(e.Val != negate)
+	case OpVar:
+		if negate {
+			return Not(e)
+		}
+		return e
+	case OpNot:
+		return nnf(e.Args[0], !negate)
+	case OpAnd, OpOr:
+		args := make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = nnf(a, negate)
+		}
+		// De Morgan: negation flips the connective.
+		if (e.Op == OpAnd) != negate {
+			return And(args...)
+		}
+		return Or(args...)
+	case OpXor:
+		// a ⊕ b = (a ∧ ¬b) ∨ (¬a ∧ b); fold left over the argument list,
+		// then push the outer negation in.
+		cur := nnf(e.Args[0], false)
+		for _, a := range e.Args[1:] {
+			x := nnf(a, false)
+			cur = Or(And(cur, nnf2Not(x)), And(nnf2Not(cur), x))
+		}
+		if negate {
+			return nnf(cur, true)
+		}
+		return cur
+	}
+	panic("logic: invalid op in nnf")
+}
+
+// nnf2Not negates an NNF expression, keeping it in NNF.
+func nnf2Not(e *Expr) *Expr { return nnf(e, true) }
+
+// IsNNF reports whether negations in e appear only directly above
+// variables and no XOR nodes remain.
+func IsNNF(e *Expr) bool {
+	switch e.Op {
+	case OpConst, OpVar:
+		return true
+	case OpNot:
+		return e.Args[0].Op == OpVar
+	case OpAnd, OpOr:
+		for _, a := range e.Args {
+			if !IsNNF(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Cube is a conjunction of literals, represented as a map from variable id
+// to phase (true = positive literal).
+type Cube map[int]bool
+
+// Cubes returns the irredundant sum-of-products of e as a list of cubes,
+// computed via Quine–McCluskey over e's support. Intended for small
+// supports (≤ maxTTVars variables); panics beyond that.
+func Cubes(e *Expr) []Cube {
+	table, support := TruthTable(e)
+	min := minimizeSOP(table, support)
+	return sopToCubes(min)
+}
+
+func sopToCubes(e *Expr) []Cube {
+	collectTerm := func(term *Expr) Cube {
+		c := Cube{}
+		addLit := func(l *Expr) {
+			switch l.Op {
+			case OpVar:
+				c[l.Var] = true
+			case OpNot:
+				c[l.Args[0].Var] = false
+			default:
+				panic("logic: non-literal in SOP term")
+			}
+		}
+		switch term.Op {
+		case OpVar, OpNot:
+			addLit(term)
+		case OpAnd:
+			for _, l := range term.Args {
+				addLit(l)
+			}
+		default:
+			panic("logic: non-cube SOP term")
+		}
+		return c
+	}
+	switch e.Op {
+	case OpConst:
+		if e.Val {
+			return []Cube{{}} // single empty cube = true
+		}
+		return nil
+	case OpOr:
+		out := make([]Cube, 0, len(e.Args))
+		for _, t := range e.Args {
+			out = append(out, collectTerm(t))
+		}
+		return out
+	default:
+		return []Cube{collectTerm(e)}
+	}
+}
+
+// Expr converts the cube back into an AND-of-literals expression.
+func (c Cube) Expr() *Expr {
+	if len(c) == 0 {
+		return True()
+	}
+	vars := make([]int, 0, len(c))
+	for v := range c {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	lits := make([]*Expr, len(vars))
+	for i, v := range vars {
+		lits[i] = Lit(v, c[v])
+	}
+	return And(lits...)
+}
+
+// Contains reports whether the cube implies assignment of variable v and
+// returns its phase.
+func (c Cube) Contains(v int) (phase, ok bool) {
+	phase, ok = c[v]
+	return
+}
+
+// CountLiterals returns the number of literal occurrences in e (a standard
+// two-level cost metric used alongside OpCount2).
+func CountLiterals(e *Expr) int {
+	switch e.Op {
+	case OpConst:
+		return 0
+	case OpVar:
+		return 1
+	case OpNot:
+		return CountLiterals(e.Args[0])
+	default:
+		n := 0
+		for _, a := range e.Args {
+			n += CountLiterals(a)
+		}
+		return n
+	}
+}

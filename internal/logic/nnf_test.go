@@ -1,0 +1,133 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToNNFBasics(t *testing.T) {
+	cases := []struct {
+		in string
+	}{
+		{"!(x1 & x2)"},
+		{"!(x1 | x2 | !x3)"},
+		{"x1 ^ x2"},
+		{"!(x1 ^ x2 ^ x3)"},
+		{"!(x1 & (x2 | !(x3 & x4)))"},
+		{"1"},
+		{"!x1"},
+	}
+	for _, c := range cases {
+		e := MustParse(c.in)
+		n := ToNNF(e)
+		if !IsNNF(n) {
+			t.Errorf("ToNNF(%q) = %v not in NNF", c.in, n)
+		}
+		if !Equivalent(e, n) {
+			t.Errorf("ToNNF(%q) changed semantics", c.in)
+		}
+	}
+}
+
+func TestIsNNF(t *testing.T) {
+	if !IsNNF(MustParse("x1 & (!x2 | x3)")) {
+		t.Error("valid NNF rejected")
+	}
+	if IsNNF(MustParse("!(x1 & x2)")) {
+		t.Error("negated conjunction accepted as NNF")
+	}
+	if IsNNF(MustParse("x1 ^ x2")) {
+		t.Error("XOR accepted as NNF")
+	}
+}
+
+func TestToNNFProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 5, 4)
+		n := ToNNF(e)
+		return IsNNF(n) && Equivalent(e, n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubesOfMux(t *testing.T) {
+	// mux(s, a, b): minimal SOP has 2 cubes (plus possibly the consensus
+	// term; QM greedy cover should find 2).
+	e := MustParse("(x1 & x2) | (!x1 & x3)")
+	cubes := Cubes(e)
+	if len(cubes) < 2 || len(cubes) > 3 {
+		t.Fatalf("mux cubes = %d want 2-3", len(cubes))
+	}
+	// Rebuild and compare.
+	terms := make([]*Expr, len(cubes))
+	for i, c := range cubes {
+		terms[i] = c.Expr()
+	}
+	if !Equivalent(e, Or(terms...)) {
+		t.Error("cube cover not equivalent")
+	}
+}
+
+func TestCubesOfConstants(t *testing.T) {
+	if got := Cubes(True()); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Cubes(true) = %v", got)
+	}
+	if got := Cubes(False()); got != nil {
+		t.Errorf("Cubes(false) = %v", got)
+	}
+}
+
+func TestCubeExprRoundTrip(t *testing.T) {
+	c := Cube{1: true, 3: false}
+	e := c.Expr()
+	if !Equivalent(e, And(V(1), Not(V(3)))) {
+		t.Errorf("Cube.Expr = %v", e)
+	}
+	if phase, ok := c.Contains(3); !ok || phase {
+		t.Error("Contains(3) wrong")
+	}
+	if _, ok := c.Contains(2); ok {
+		t.Error("Contains(2) should be absent")
+	}
+	if Key(Cube{}.Expr()) != Key(True()) {
+		t.Error("empty cube should be true")
+	}
+}
+
+// TestCubesCoverExactlyProperty: the cube cover equals the function.
+func TestCubesCoverExactlyProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4, 3)
+		cubes := Cubes(e)
+		terms := make([]*Expr, len(cubes))
+		for i, c := range cubes {
+			terms[i] = c.Expr()
+		}
+		return Equivalent(e, Or(terms...))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountLiterals(t *testing.T) {
+	cases := map[string]int{
+		"x1":                    1,
+		"!x1":                   1,
+		"x1 & x2":               2,
+		"(x1 | x2) & !x3":       3,
+		"x1 ^ x1 ^ x2":          1, // constructor cancellation
+		"1":                     0,
+		"(x1 & x2) | (x1 & x3)": 4,
+	}
+	for in, want := range cases {
+		if got := CountLiterals(MustParse(in)); got != want {
+			t.Errorf("CountLiterals(%q) = %d want %d", in, got, want)
+		}
+	}
+}

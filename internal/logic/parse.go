@@ -1,0 +1,170 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an infix Boolean expression in the same syntax String emits:
+//
+//	expr  := xor
+//	xor   := or  { '^' or  }
+//	or    := and { '|' and }
+//	and   := unary { '&' unary }
+//	unary := '!' unary | '(' expr ')' | '0' | '1' | 'x' digits
+//
+// Whitespace is insignificant. Parse is used by tests and tooling; the hot
+// paths construct expressions directly.
+func Parse(s string) (*Expr, error) {
+	p := &parser{src: s}
+	e, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("logic: trailing input at offset %d in %q", p.pos, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and constants.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseXor() (*Expr, error) {
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Expr{e}
+	for p.peek() == '^' {
+		p.pos++
+		next, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return e, nil
+	}
+	return Xor(args...), nil
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Expr{e}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return e, nil
+	}
+	return Or(args...), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Expr{e}
+	for p.peek() == '&' {
+		p.pos++
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return e, nil
+	}
+	return And(args...), nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	switch c := p.peek(); c {
+	case '!':
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	case '(':
+		p.pos++
+		e, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("logic: expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case '0':
+		p.pos++
+		return False(), nil
+	case '1':
+		p.pos++
+		return True(), nil
+	case 'x':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("logic: expected variable digits at offset %d", p.pos)
+		}
+		id, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("logic: bad variable id %q", p.src[start:p.pos])
+		}
+		return V(id), nil
+	case 0:
+		return nil, fmt.Errorf("logic: unexpected end of input in %q", p.src)
+	default:
+		return nil, fmt.Errorf("logic: unexpected character %q at offset %d", string(c), p.pos)
+	}
+}
+
+// Format renders e in the Parse syntax; it is the inverse of Parse up to
+// simplification performed by the constructors.
+func Format(e *Expr) string { return strings.TrimSpace(e.String()) }

@@ -1,0 +1,163 @@
+// Package metrics provides sampling-quality measurements for SAT samplers:
+// empirical uniformity tests over the solution space (chi-square statistic
+// against the uniform distribution, KL divergence estimate, coverage) and
+// per-bit marginal diagnostics. The paper positions its sampler against
+// UniGen3 (almost-uniform by construction) and CMSGen/QuickSampler
+// (no guarantee, tested empirically by Pote et al.'s sampler-testing line
+// of work); this package implements the empirical side of that comparison.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts occurrences of distinct solutions (keyed by their
+// packed bit pattern).
+type Histogram struct {
+	counts map[string]int
+	total  int
+	bits   int
+}
+
+// NewHistogram creates a histogram for solutions of the given bit width.
+func NewHistogram(bits int) *Histogram {
+	return &Histogram{counts: map[string]int{}, bits: bits}
+}
+
+// Add records one sampled solution.
+func (h *Histogram) Add(sol []bool) {
+	if len(sol) != h.bits {
+		panic(fmt.Sprintf("metrics: solution width %d, histogram width %d", len(sol), h.bits))
+	}
+	h.counts[pack(sol)]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Distinct returns the number of distinct solutions observed.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Coverage returns the fraction of the solution space observed, given the
+// true solution count.
+func (h *Histogram) Coverage(spaceSize float64) float64 {
+	if spaceSize <= 0 {
+		return 0
+	}
+	return float64(len(h.counts)) / spaceSize
+}
+
+// ChiSquare returns the chi-square statistic of the observed counts
+// against the uniform distribution over a space of spaceSize solutions,
+// together with the degrees of freedom. Unobserved solutions contribute
+// their expected count. A statistic close to the degrees of freedom is
+// consistent with uniform sampling.
+func (h *Histogram) ChiSquare(spaceSize float64) (stat float64, dof int) {
+	if spaceSize <= 0 || h.total == 0 {
+		return 0, 0
+	}
+	expected := float64(h.total) / spaceSize
+	for _, c := range h.counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	unseen := spaceSize - float64(len(h.counts))
+	stat += unseen * expected // each unseen cell contributes (0-E)^2/E = E
+	return stat, int(spaceSize) - 1
+}
+
+// KLFromUniform estimates the Kullback–Leibler divergence D(empirical ‖
+// uniform) in bits. Zero means exactly uniform over the support; the
+// estimate ignores unseen solutions (standard plug-in estimator).
+func (h *Histogram) KLFromUniform(spaceSize float64) float64 {
+	if h.total == 0 || spaceSize <= 0 {
+		return 0
+	}
+	kl := 0.0
+	for _, c := range h.counts {
+		p := float64(c) / float64(h.total)
+		q := 1 / spaceSize
+		kl += p * math.Log2(p/q)
+	}
+	return kl
+}
+
+// MinMaxRatio returns the ratio of the most to least frequent observed
+// solution (1.0 = perfectly balanced support).
+func (h *Histogram) MinMaxRatio() float64 {
+	if len(h.counts) == 0 {
+		return 0
+	}
+	min, max := math.MaxInt64, 0
+	for _, c := range h.counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return float64(max) / float64(min)
+}
+
+// TopK returns the k most frequent solutions and their counts, most
+// frequent first (ties broken by key for determinism).
+func (h *Histogram) TopK(k int) []SolutionCount {
+	out := make([]SolutionCount, 0, len(h.counts))
+	for key, c := range h.counts {
+		out = append(out, SolutionCount{Key: key, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SolutionCount pairs a packed solution key with its observation count.
+type SolutionCount struct {
+	Key   string
+	Count int
+}
+
+// Marginals returns the per-bit empirical probability of 1 across all
+// recorded samples (including duplicates) — a cheap skew diagnostic: free
+// bits of a uniform sampler sit near 0.5.
+func (h *Histogram) Marginals() []float64 {
+	m := make([]float64, h.bits)
+	if h.total == 0 {
+		return m
+	}
+	for key, c := range h.counts {
+		for i := 0; i < h.bits; i++ {
+			if key[i/8]&(1<<(i%8)) != 0 {
+				m[i] += float64(c)
+			}
+		}
+	}
+	for i := range m {
+		m[i] /= float64(h.total)
+	}
+	return m
+}
+
+func pack(b []bool) string {
+	out := make([]byte, (len(b)+7)/8)
+	for i, v := range b {
+		if v {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(out)
+}

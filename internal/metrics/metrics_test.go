@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bits(pattern ...int) []bool {
+	out := make([]bool, len(pattern))
+	for i, p := range pattern {
+		out[i] = p != 0
+	}
+	return out
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(bits(0, 0))
+	h.Add(bits(0, 0))
+	h.Add(bits(1, 0))
+	if h.Total() != 3 {
+		t.Errorf("Total = %d want 3", h.Total())
+	}
+	if h.Distinct() != 2 {
+		t.Errorf("Distinct = %d want 2", h.Distinct())
+	}
+	if got := h.Coverage(4); got != 0.5 {
+		t.Errorf("Coverage = %v want 0.5", got)
+	}
+}
+
+func TestHistogramWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on width mismatch")
+		}
+	}()
+	NewHistogram(2).Add(bits(1))
+}
+
+func TestChiSquareUniformIsSmall(t *testing.T) {
+	// Uniform sampling over 8 solutions: statistic should be near dof.
+	r := rand.New(rand.NewSource(1))
+	h := NewHistogram(3)
+	for i := 0; i < 8000; i++ {
+		v := r.Intn(8)
+		h.Add(bits(v&1, (v>>1)&1, (v>>2)&1))
+	}
+	stat, dof := h.ChiSquare(8)
+	if dof != 7 {
+		t.Fatalf("dof = %d want 7", dof)
+	}
+	// 99.9th percentile of chi²(7) ≈ 24.3.
+	if stat > 24.3 {
+		t.Errorf("chi² = %.1f too large for uniform data", stat)
+	}
+}
+
+func TestChiSquareSkewedIsLarge(t *testing.T) {
+	h := NewHistogram(3)
+	for i := 0; i < 8000; i++ {
+		h.Add(bits(0, 0, 0)) // always the same solution
+	}
+	stat, _ := h.ChiSquare(8)
+	if stat < 1000 {
+		t.Errorf("chi² = %.1f too small for fully-skewed data", stat)
+	}
+}
+
+func TestKLFromUniform(t *testing.T) {
+	// Exactly uniform over the full space: KL = 0.
+	h := NewHistogram(2)
+	for v := 0; v < 4; v++ {
+		h.Add(bits(v&1, (v>>1)&1))
+	}
+	if kl := h.KLFromUniform(4); math.Abs(kl) > 1e-12 {
+		t.Errorf("KL = %v want 0", kl)
+	}
+	// Point mass on one of 4 solutions: KL = log2(4) = 2 bits.
+	p := NewHistogram(2)
+	p.Add(bits(1, 1))
+	if kl := p.KLFromUniform(4); math.Abs(kl-2) > 1e-12 {
+		t.Errorf("KL = %v want 2", kl)
+	}
+}
+
+func TestMinMaxRatio(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(bits(0))
+	h.Add(bits(0))
+	h.Add(bits(1))
+	if got := h.MinMaxRatio(); got != 2 {
+		t.Errorf("MinMaxRatio = %v want 2", got)
+	}
+	if got := NewHistogram(1).MinMaxRatio(); got != 0 {
+		t.Errorf("empty MinMaxRatio = %v want 0", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(bits(0, 0))
+	h.Add(bits(1, 0))
+	h.Add(bits(1, 0))
+	top := h.TopK(1)
+	if len(top) != 1 || top[0].Count != 2 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := len(h.TopK(10)); got != 2 {
+		t.Errorf("TopK(10) returned %d entries want 2", got)
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(bits(1, 0))
+	h.Add(bits(1, 1))
+	m := h.Marginals()
+	if m[0] != 1.0 || m[1] != 0.5 {
+		t.Errorf("Marginals = %v want [1 0.5]", m)
+	}
+}
+
+func TestZeroSampleEdgeCases(t *testing.T) {
+	h := NewHistogram(3)
+	if stat, dof := h.ChiSquare(8); stat != 0 || dof != 0 {
+		t.Error("empty chi-square should be zero")
+	}
+	if h.KLFromUniform(8) != 0 {
+		t.Error("empty KL should be zero")
+	}
+	m := h.Marginals()
+	for _, v := range m {
+		if v != 0 {
+			t.Error("empty marginals should be zero")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sat
+
+import "repro/internal/cnf"
+
+// SolveAssume solves under the given assumption literals: the search is
+// rooted at decisions forcing each assumption, and learning/backtracking
+// never undoes them permanently (incremental-SAT style, as in MiniSat's
+// solve(assumps)). It returns Unsat when the formula is unsatisfiable
+// under the assumptions — the formula itself is left intact for later
+// calls — and Unknown when the conflict budget runs out.
+func (s *Solver) SolveAssume(assumptions ...cnf.Lit) Status {
+	if s.unsat {
+		return Unsat
+	}
+	if !s.xorPrepared {
+		if !s.prepareXors() {
+			s.unsat = true
+			return Unsat
+		}
+	}
+	s.cancelUntil(0)
+	if _, confl := s.propagate(); confl != nil {
+		s.unsat = true
+		return Unsat
+	}
+	// Plant assumptions as pseudo-decisions at successive levels.
+	for _, a := range assumptions {
+		if a == 0 || a.Var() > s.numVars {
+			return Unsat
+		}
+		switch s.litValue(a) {
+		case valTrue:
+			continue // already implied
+		case valFalse:
+			s.cancelUntil(0)
+			return Unsat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(a, nil)
+		if _, confl := s.propagate(); confl != nil {
+			s.cancelUntil(0)
+			return Unsat
+		}
+	}
+	baseLevel := s.decisionLevel()
+	st := s.searchAbove(baseLevel)
+	s.cancelUntil(0)
+	return st
+}
+
+// searchAbove runs CDCL like Solve but treats baseLevel as the search
+// floor: conflicts that would backtrack below it mean Unsat-under-
+// assumptions.
+func (s *Solver) searchAbove(baseLevel int) Status {
+	restart := int64(0)
+	for {
+		budget := 100 * luby(restart)
+		restart++
+		conflicts := int64(0)
+		for {
+			_, confl := s.propagate()
+			if confl != nil {
+				s.nConflicts++
+				conflicts++
+				if s.decisionLevel() <= baseLevel {
+					return Unsat
+				}
+				learnt, bt := s.analyze(confl)
+				if bt < baseLevel {
+					bt = baseLevel
+				}
+				s.cancelUntil(bt)
+				if len(learnt) == 1 {
+					if s.litValue(learnt[0]) == valFalse {
+						return Unsat
+					}
+					if s.litValue(learnt[0]) == valUnassigned {
+						s.uncheckedEnqueue(learnt[0], nil)
+					}
+				} else {
+					cl := &clause{lits: learnt, learnt: true}
+					s.clauses = append(s.clauses, cl)
+					s.nLearnts++
+					s.watch(cl)
+					switch s.litValue(learnt[0]) {
+					case valUnassigned:
+						s.uncheckedEnqueue(learnt[0], cl)
+					case valFalse:
+						// Clamping to the assumption floor left the asserting
+						// literal false: the clause is falsified under the
+						// assumptions themselves.
+						return Unsat
+					}
+				}
+				s.varInc *= varDecay
+				if s.opts.MaxConflicts > 0 && s.nConflicts >= s.opts.MaxConflicts {
+					return Unknown
+				}
+				continue
+			}
+			if conflicts >= budget {
+				s.cancelUntil(baseLevel)
+				break // restart
+			}
+			v := s.pickBranchVar()
+			if v < 0 {
+				s.model = make([]bool, s.numVars)
+				for i := range s.model {
+					s.model[i] = s.assign[i] == valTrue
+				}
+				return Sat
+			}
+			s.nDecisions++
+			pol := s.polarity[v]
+			if s.opts.RandomPolarity {
+				pol = s.rng.Intn(2) == 0
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			if pol {
+				s.uncheckedEnqueue(cnf.Lit(v+1), nil)
+			} else {
+				s.uncheckedEnqueue(cnf.Lit(-(v + 1)), nil)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package sat
+
+// varHeap is a binary max-heap of variable indices ordered by activity,
+// with position tracking so activities can be bumped in place (the VSIDS
+// order structure).
+type varHeap struct {
+	act  []float64 // shared with the solver; read-only here
+	data []int
+	pos  []int // pos[v] = index in data, -1 when absent
+}
+
+func newVarHeap(act []float64) *varHeap {
+	pos := make([]int, len(act))
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &varHeap{act: act, pos: pos}
+}
+
+func (h *varHeap) contains(v int) bool { return h.pos[v] >= 0 }
+
+func (h *varHeap) push(v int) {
+	if h.contains(v) {
+		return
+	}
+	h.pos[v] = len(h.data)
+	h.data = append(h.data, v)
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.data) == 0 {
+		return -1, false
+	}
+	v := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[v] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return v, true
+}
+
+// update restores the heap property after v's activity increased.
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.data[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.act[h.data[parent]] >= h.act[v] {
+			break
+		}
+		h.data[i] = h.data[parent]
+		h.pos[h.data[i]] = i
+		i = parent
+	}
+	h.data[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.data[i]
+	n := len(h.data)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.act[h.data[r]] > h.act[h.data[l]] {
+			best = r
+		}
+		if h.act[h.data[best]] <= h.act[v] {
+			break
+		}
+		h.data[i] = h.data[best]
+		h.pos[h.data[i]] = i
+		i = best
+	}
+	h.data[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,67 @@
+package sat
+
+import "sort"
+
+// Learned-clause database reduction: when the learnt count exceeds an
+// adaptive cap, the lower-activity half of the non-locked learnt clauses
+// is dropped (MiniSat's reduceDB policy). Binary learnt clauses are always
+// kept — they are cheap and strong.
+
+const (
+	learntCapInit   = 4000
+	learntCapGrowth = 1.1
+)
+
+// maybeReduceDB drops cold learnt clauses when the database is over cap.
+// It must be called at a point where watch lists can be rebuilt (we call
+// it right after a restart, at decision level 0).
+func (s *Solver) maybeReduceDB() {
+	if s.maxLearnts == 0 {
+		s.maxLearnts = learntCapInit
+	}
+	if s.nLearnts <= s.maxLearnts {
+		return
+	}
+	// Collect learnt clauses eligible for deletion.
+	var learnts []*clause
+	for _, c := range s.clauses {
+		if c.learnt && len(c.lits) > 2 && !s.locked(c) {
+			learnts = append(learnts, c)
+		}
+	}
+	sort.Slice(learnts, func(i, j int) bool { return learnts[i].act < learnts[j].act })
+	drop := map[*clause]bool{}
+	for _, c := range learnts[:len(learnts)/2] {
+		drop[c] = true
+	}
+	if len(drop) == 0 {
+		s.maxLearnts = int(float64(s.maxLearnts) * learntCapGrowth)
+		return
+	}
+	// Rebuild the clause list and watch lists without the dropped clauses.
+	out := s.clauses[:0]
+	for _, c := range s.clauses {
+		if !drop[c] {
+			out = append(out, c)
+		}
+	}
+	s.clauses = out
+	for i := range s.watches {
+		ws := s.watches[i][:0]
+		for _, c := range s.watches[i] {
+			if !drop[c] {
+				ws = append(ws, c)
+			}
+		}
+		s.watches[i] = ws
+	}
+	s.nLearnts -= len(drop)
+	s.maxLearnts = int(float64(s.maxLearnts) * learntCapGrowth)
+}
+
+// locked reports whether c is the reason for a current assignment and must
+// not be deleted.
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var() - 1
+	return s.reason[v] == c && s.assign[v] != valUnassigned
+}

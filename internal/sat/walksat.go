@@ -1,0 +1,159 @@
+package sat
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// WalkSATOptions configure the local-search solver.
+type WalkSATOptions struct {
+	// MaxFlips bounds the number of variable flips per try (default 10000).
+	MaxFlips int
+	// MaxTries bounds the number of random restarts (default 10).
+	MaxTries int
+	// Noise is the probability of a random walk move instead of a greedy
+	// one (default 0.5, Selman et al.'s classic setting).
+	Noise float64
+	// Rand supplies randomness; a fixed-seed source is used when nil.
+	Rand *rand.Rand
+}
+
+// WalkSAT runs Selman-style stochastic local search. It returns Sat and a
+// model when a satisfying assignment is found within the budget, and
+// Unknown otherwise (WalkSAT can never prove unsatisfiability).
+func WalkSAT(f *cnf.Formula, opts WalkSATOptions) (Status, []bool) {
+	if opts.MaxFlips == 0 {
+		opts.MaxFlips = 10000
+	}
+	if opts.MaxTries == 0 {
+		opts.MaxTries = 10
+	}
+	if opts.Noise == 0 {
+		opts.Noise = 0.5
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if f.NumVars == 0 {
+		if len(f.Clauses) == 0 {
+			return Sat, nil
+		}
+		return Unknown, nil
+	}
+
+	// occ[litIdx] = clause indices containing that literal.
+	occ := make([][]int, 2*f.NumVars)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			occ[litIdx(l)] = append(occ[litIdx(l)], ci)
+		}
+	}
+
+	assign := make([]bool, f.NumVars)
+	satLits := make([]int, len(f.Clauses)) // count of true literals per clause
+
+	recount := func() []int {
+		var unsat []int
+		for ci, c := range f.Clauses {
+			n := 0
+			for _, l := range c {
+				if l.Sat(assign[l.Var()-1]) {
+					n++
+				}
+			}
+			satLits[ci] = n
+			if n == 0 {
+				unsat = append(unsat, ci)
+			}
+		}
+		return unsat
+	}
+
+	// breakCount returns how many currently-satisfied clauses become unsat
+	// if v flips.
+	breakCount := func(v int) int {
+		cur := assign[v]
+		lit := cnf.Lit(v + 1)
+		if !cur {
+			lit = -lit
+		}
+		// Flipping v falsifies clauses where lit was the only true literal.
+		count := 0
+		for _, ci := range occ[litIdx(lit)] {
+			if satLits[ci] == 1 {
+				count++
+			}
+		}
+		return count
+	}
+
+	flip := func(v int) {
+		cur := assign[v]
+		was := cnf.Lit(v + 1)
+		if !cur {
+			was = -was
+		}
+		for _, ci := range occ[litIdx(was)] {
+			satLits[ci]--
+		}
+		assign[v] = !cur
+		now := was.Neg()
+		for _, ci := range occ[litIdx(now)] {
+			satLits[ci]++
+		}
+	}
+
+	for try := 0; try < opts.MaxTries; try++ {
+		for i := range assign {
+			assign[i] = rng.Intn(2) == 0
+		}
+		unsat := recount()
+		for fl := 0; fl < opts.MaxFlips; fl++ {
+			// Refresh the unsat list lazily.
+			w := 0
+			for _, ci := range unsat {
+				if satLits[ci] == 0 {
+					unsat[w] = ci
+					w++
+				}
+			}
+			unsat = unsat[:w]
+			if len(unsat) == 0 {
+				unsat = recount()
+				if len(unsat) == 0 {
+					model := append([]bool(nil), assign...)
+					return Sat, model
+				}
+			}
+			c := f.Clauses[unsat[rng.Intn(len(unsat))]]
+			var pick int
+			if rng.Float64() < opts.Noise {
+				pick = c[rng.Intn(len(c))].Var() - 1
+			} else {
+				best, bestBreak := -1, int(^uint(0)>>1)
+				for _, l := range c {
+					v := l.Var() - 1
+					if b := breakCount(v); b < bestBreak {
+						best, bestBreak = v, b
+					}
+				}
+				pick = best
+			}
+			flip(pick)
+			// Flipping may have fixed clauses but also broken others; track
+			// newly broken clauses of the literal that became false.
+			was := cnf.Lit(pick + 1)
+			if assign[pick] {
+				was = -was
+			}
+			for _, ci := range occ[litIdx(was)] {
+				if satLits[ci] == 0 {
+					unsat = append(unsat, ci)
+				}
+			}
+		}
+	}
+	return Unknown, nil
+}

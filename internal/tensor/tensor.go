@@ -1,0 +1,194 @@
+// Package tensor provides the batched float32 compute substrate for the
+// gradient-descent sampler. It stands in for the paper's PyTorch/V100
+// stack: the property the paper exploits is that every batch row (every
+// candidate sample) is an independent learning problem, so the forward and
+// backward passes are data-parallel across rows. A Device abstracts how
+// that parallelism is realized — Sequential models single-threaded CPU
+// execution and Parallel models the data-parallel accelerator by striping
+// the batch across a worker pool. The Fig. 4 GPU-vs-CPU ablation becomes a
+// Parallel-vs-Sequential comparison on identical kernels (see DESIGN.md).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Device executes batch-striped work.
+type Device struct {
+	workers int
+	name    string
+}
+
+// Sequential returns the single-worker device (the "CPU" arm of the
+// ablation).
+func Sequential() Device { return Device{workers: 1, name: "sequential"} }
+
+// Parallel returns a device with one worker per available CPU (the
+// data-parallel "GPU stand-in" arm).
+func Parallel() Device { return Device{workers: runtime.GOMAXPROCS(0), name: "parallel"} }
+
+// ParallelN returns a device with exactly n workers (n >= 1).
+func ParallelN(n int) Device {
+	if n < 1 {
+		n = 1
+	}
+	return Device{workers: n, name: fmt.Sprintf("parallel-%d", n)}
+}
+
+// Workers returns the worker count.
+func (d Device) Workers() int {
+	if d.workers == 0 {
+		return 1
+	}
+	return d.workers
+}
+
+// Name returns a short device label for reports.
+func (d Device) Name() string {
+	if d.name == "" {
+		return "sequential"
+	}
+	return d.name
+}
+
+// Run partitions [0, n) into contiguous stripes and invokes fn(lo, hi) for
+// each stripe, one per worker. With one worker it runs inline (no goroutine
+// overhead), so Sequential timing reflects a plain loop.
+func (d Device) Run(n int, fn func(lo, hi int)) {
+	w := d.Workers()
+	if w == 1 || n < 2*w {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Matrix is a dense row-major batch-by-cols float32 matrix. Row i is one
+// batch element (one candidate sample).
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills the matrix with uniform values in [lo, hi) using per-row
+// deterministic streams derived from seed, so results are identical for
+// any device parallelism.
+func (m *Matrix) Randomize(d Device, seed int64, lo, hi float32) {
+	d.Run(m.Rows, func(r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			rng := rand.New(rand.NewSource(seed + int64(r)*-0x61C8864680B583EB))
+			row := m.Row(r)
+			for i := range row {
+				row[i] = lo + (hi-lo)*rng.Float32()
+			}
+		}
+	})
+}
+
+// Sigmoid computes dst = 1/(1+exp(-src)) elementwise, striped by rows.
+func Sigmoid(d Device, dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: Sigmoid shape mismatch")
+	}
+	d.Run(dst.Rows, func(r0, r1 int) {
+		lo, hi := r0*dst.Cols, r1*dst.Cols
+		s, t := src.Data[lo:hi], dst.Data[lo:hi]
+		for i, v := range s {
+			t[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	})
+}
+
+// Axpy computes y += alpha*x elementwise, striped by rows.
+func Axpy(d Device, alpha float32, x, y *Matrix) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		panic("tensor: Axpy shape mismatch")
+	}
+	d.Run(y.Rows, func(r0, r1 int) {
+		lo, hi := r0*y.Cols, r1*y.Cols
+		xs, ys := x.Data[lo:hi], y.Data[lo:hi]
+		for i := range ys {
+			ys[i] += alpha * xs[i]
+		}
+	})
+}
+
+// Harden writes dst[r][c] = (src[r][c] > threshold) as a row-major bool
+// slice: converting the learned soft inputs into hard binary assignments.
+func Harden(d Device, dst []bool, src *Matrix, threshold float32) {
+	if len(dst) != len(src.Data) {
+		panic("tensor: Harden shape mismatch")
+	}
+	d.Run(src.Rows, func(r0, r1 int) {
+		lo, hi := r0*src.Cols, r1*src.Cols
+		for i := lo; i < hi; i++ {
+			dst[i] = src.Data[i] > threshold
+		}
+	})
+}
+
+// SumSquares returns Σ (a[i] - b[i])² — the ℓ2 loss between two matrices.
+func SumSquares(d Device, a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: SumSquares shape mismatch")
+	}
+	partial := make([]float64, d.Workers())
+	var idx int
+	var mu sync.Mutex
+	d.Run(a.Rows, func(r0, r1 int) {
+		mu.Lock()
+		slot := idx
+		idx++
+		mu.Unlock()
+		sum := 0.0
+		lo, hi := r0*a.Cols, r1*a.Cols
+		for i := lo; i < hi; i++ {
+			dv := float64(a.Data[i] - b.Data[i])
+			sum += dv * dv
+		}
+		partial[slot] = sum
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
