@@ -5,6 +5,7 @@
 //	paperbench -exp fig2              # Fig. 2: latency vs unique solutions, 60 instances
 //	paperbench -exp fig3              # Fig. 3: learning curve + memory model
 //	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
+//	paperbench -exp engine            # compiled-engine shape: fusion, registers, memory
 //	paperbench -exp all               # everything
 //
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
@@ -19,6 +20,8 @@ import (
 	"time"
 
 	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/extract"
 	"repro/internal/harness"
 	"repro/internal/tensor"
 )
@@ -58,6 +61,8 @@ func main() {
 		runFig3(figSet(), opt)
 	case "fig4":
 		runFig4(figSet(), opt)
+	case "engine":
+		runEngine(figSet(), dev)
 	case "all":
 		runTable2(table2Set(), opt, *csv)
 		fmt.Println()
@@ -66,6 +71,8 @@ func main() {
 		runFig3(figSet(), opt)
 		fmt.Println()
 		runFig4(figSet(), opt)
+		fmt.Println()
+		runEngine(figSet(), dev)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -106,4 +113,31 @@ func runFig4(ins []*benchgen.Instance, opt harness.RunOptions) {
 	fmt.Println()
 	rows := harness.RunFig4(ins, opt)
 	harness.RenderFig4(os.Stdout, rows)
+}
+
+// runEngine reports the compiled execution engine's shape per instance:
+// fused kernel count, value slots after inverter fusion + dead-code
+// elimination, adjoint registers after backward-liveness allocation, the
+// cache tile, and the Fig. 3 memory model at two batch sizes.
+func runEngine(ins []*benchgen.Instance, dev tensor.Device) {
+	fmt.Println("== Execution engine: fusion, register allocation, memory model ==")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %8s %8s %8s %8s %6s %12s %12s\n",
+		"instance", "inputs", "gates", "ops", "slots", "gregs", "tile", "MB@4096", "MB@1M")
+	for _, in := range ins {
+		ext, err := extract.Transform(in.Formula)
+		if err != nil {
+			fmt.Printf("%-22s transform failed: %v\n", in.Name, err)
+			continue
+		}
+		s, err := core.New(in.Formula, ext, core.Config{BatchSize: 4096, Device: dev})
+		if err != nil {
+			fmt.Printf("%-22s sampler failed: %v\n", in.Name, err)
+			continue
+		}
+		es := s.EngineStats()
+		fmt.Printf("%-22s %8d %8d %8d %8d %8d %6d %12.2f %12.1f\n",
+			in.Name, es.Inputs, ext.Circuit.NumGates(), es.Ops, es.ValSlots, es.GradRegs, es.Tile,
+			float64(s.MemoryEstimate(4096))/(1<<20), float64(s.MemoryEstimate(1_000_000))/(1<<20))
+	}
 }

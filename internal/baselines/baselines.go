@@ -21,6 +21,7 @@ package baselines
 import (
 	"time"
 
+	"repro/internal/bitblast"
 	"repro/internal/cnf"
 )
 
@@ -55,15 +56,23 @@ type Sampler interface {
 	Solutions() [][]bool
 }
 
-// pool deduplicates models.
+// pool deduplicates models. Dedup keys are 64-bit SplitMix64 hashes of
+// the packed model bits with exact comparison on hash hits (so a
+// collision can never merge distinct models); unlike the former
+// string-key scheme this allocates nothing per candidate.
 type pool struct {
 	formula *cnf.Formula
-	seen    map[string]struct{}
+	seen    map[uint64][]int32 // hash → indices into sols
+	rowbuf  []uint64           // packed model scratch
 	sols    [][]bool
 }
 
 func newPool(f *cnf.Formula) *pool {
-	return &pool{formula: f, seen: map[string]struct{}{}}
+	return &pool{
+		formula: f,
+		seen:    map[uint64][]int32{},
+		rowbuf:  make([]uint64, (f.NumVars+63)/64),
+	}
 }
 
 // add verifies and folds a model; it reports whether the model was new.
@@ -71,23 +80,31 @@ func (p *pool) add(model []bool) bool {
 	if !p.formula.Sat(model) {
 		return false
 	}
-	key := packBits(model)
-	if _, dup := p.seen[key]; dup {
-		return false
+	for i := range p.rowbuf {
+		p.rowbuf[i] = 0
 	}
-	p.seen[key] = struct{}{}
+	for i, v := range model {
+		if v {
+			p.rowbuf[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	h := bitblast.Hash64(p.rowbuf)
+	for _, idx := range p.seen[h] {
+		prev := p.sols[idx]
+		same := len(prev) == len(model)
+		for i := range prev {
+			if !same {
+				break
+			}
+			same = prev[i] == model[i]
+		}
+		if same {
+			return false
+		}
+	}
+	p.seen[h] = append(p.seen[h], int32(len(p.sols)))
 	p.sols = append(p.sols, append([]bool(nil), model...))
 	return true
 }
 
 func (p *pool) size() int { return len(p.sols) }
-
-func packBits(b []bool) string {
-	out := make([]byte, (len(b)+7)/8)
-	for i, v := range b {
-		if v {
-			out[i/8] |= 1 << (i % 8)
-		}
-	}
-	return string(out)
-}

@@ -19,6 +19,18 @@ func mustParse(t *testing.T, s string) *cnf.Formula {
 	return f
 }
 
+func bitsKey(b []bool) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
 // or3: x1 ∨ x2 ∨ x3 — 7 models.
 const or3 = "p cnf 3 1\n1 2 3 0\n"
 
@@ -41,7 +53,7 @@ func checkSampler(t *testing.T, name string, mk func(*cnf.Formula) Sampler) {
 			if !f.Sat(m) {
 				t.Errorf("invalid model %v", m)
 			}
-			k := packBits(m)
+			k := bitsKey(m)
 			if seen[k] {
 				t.Errorf("duplicate model %v", m)
 			}
@@ -250,11 +262,26 @@ func TestPoolRejectsInvalidAndDuplicates(t *testing.T) {
 	}
 }
 
-func TestPackBits(t *testing.T) {
-	a := packBits([]bool{true, false, true})
-	b := packBits([]bool{true, false, true})
-	c := packBits([]bool{true, true, true})
-	if a != b || a == c {
-		t.Error("packBits keys wrong")
+func TestPoolDedupNoPerCandidateAllocs(t *testing.T) {
+	// x1 ∨ x2 over two variables: three models. Once the pool holds them,
+	// re-adding candidates (dup or invalid) must not allocate.
+	f := cnf.New(2)
+	f.AddClause(cnf.Lit(1), cnf.Lit(2))
+	p := newPool(f)
+	models := [][]bool{{true, false}, {false, true}, {true, true}}
+	for _, m := range models {
+		if !p.add(m) {
+			t.Fatal("pool rejected a fresh model")
+		}
+	}
+	if p.size() != 3 {
+		t.Fatalf("pool size = %d want 3", p.size())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.add(models[0])            // duplicate
+		p.add([]bool{false, false}) // non-model
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state pool.add allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -112,11 +112,15 @@ func (d *DiffSampler) roundOnce() int {
 	n := d.formula.NumVars
 	for it := 0; it < d.Iterations; it++ {
 		tensor.Sigmoid(d.Device, d.probs, d.vmat)
-		d.grad.Fill(0)
 		d.Device.Run(d.BatchSize, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				p := d.probs.Row(r)
 				g := d.grad.Row(r)
+				// Zero this row's gradient inside the striped pass instead
+				// of a serial full-matrix Fill between iterations.
+				for i := range g {
+					g[i] = 0
+				}
 				for _, c := range d.formula.Clauses {
 					// falsity = Π (1 - ℓ); ∂falsity/∂ℓ_i = -Π_{j≠i}(1-ℓ_j).
 					falsity := float32(1)

@@ -1,0 +1,240 @@
+// Package bitblast evaluates an extracted circuit and its originating CNF
+// on packed uint64 lanes: each word carries 64 candidate assignments (one
+// per bit), so one gate evaluation or clause check covers 64 batch rows.
+// The gradient-descent sampler hardens its learned soft inputs directly
+// into packed columns and verifies a whole batch with word-level sweeps
+// instead of per-row Circuit.Eval + Formula.Sat — the per-row path remains
+// as the differential-testing oracle. See DESIGN.md ("Bit-parallel
+// verification").
+package bitblast
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// blit is a compiled CNF literal: a circuit node index and a complement
+// flag. Literals of variables with no circuit node evaluate to constant
+// false (positive polarity) or true (negative polarity) and are resolved
+// at compile time, mirroring extract.Result.AssignmentFromInputs, which
+// defaults nodeless variables to false.
+type blit struct {
+	node int32
+	neg  bool
+}
+
+// Program is a compiled bit-parallel verifier for one (circuit, CNF) pair.
+// It is immutable after New; obtain per-goroutine scratch with NewEval.
+type Program struct {
+	circ *circuit.Circuit
+	// clauses lists the clause plan after constant resolution: clauses
+	// made unconditionally true by a nodeless negative literal are
+	// dropped, constant-false literals are removed.
+	clauses [][]blit
+	// unsat is set when some clause lost every literal to constant-false
+	// resolution: no assignment reachable through the circuit satisfies
+	// the CNF, so Verify reports zero valid lanes.
+	unsat bool
+}
+
+// New compiles a verifier. nodeOf maps CNF variables to circuit nodes (the
+// extract.Result.NodeOf table); variables absent from it are treated as
+// constant false, matching AssignmentFromInputs.
+func New(c *circuit.Circuit, nodeOf map[int]circuit.NodeID, f *cnf.Formula) *Program {
+	p := &Program{circ: c}
+	for _, cl := range f.Clauses {
+		compiled := make([]blit, 0, len(cl))
+		sat := false
+		for _, l := range cl {
+			id, ok := nodeOf[l.Var()]
+			if !ok {
+				if !l.Positive() {
+					sat = true // ¬v with v defaulted false: always true
+					break
+				}
+				continue // v defaulted false: drop the literal
+			}
+			compiled = append(compiled, blit{node: int32(id), neg: !l.Positive()})
+		}
+		if sat {
+			continue
+		}
+		if len(compiled) == 0 {
+			p.unsat = true
+			p.clauses = nil
+			return p
+		}
+		p.clauses = append(p.clauses, compiled)
+	}
+	return p
+}
+
+// NumClauses returns the number of clauses retained after constant
+// resolution.
+func (p *Program) NumClauses() int { return len(p.clauses) }
+
+// Eval is reusable per-goroutine scratch for a Program.
+type Eval struct {
+	prog *Program
+	vals []uint64 // one packed word per circuit node
+}
+
+// NewEval allocates scratch for word-level sweeps over p.
+func (p *Program) NewEval() *Eval {
+	return &Eval{prog: p, vals: make([]uint64, len(p.circ.Nodes))}
+}
+
+// Verify evaluates the circuit on packed input columns and checks every
+// CNF clause, writing one validity mask word per input word: bit r of
+// valid[w] is set iff the full assignment induced by lane r of word w
+// satisfies the formula. cols holds one packed column per primary input
+// (in circuit input order), each at least words long; valid must be at
+// least words long. Lanes beyond the caller's batch carry whatever bits
+// the caller packed there — mask them off in valid before use.
+//
+// The sweep is word-major: all nodes and clauses are evaluated for one
+// word before moving to the next, so the working set is one uint64 per
+// node regardless of batch size. Verify performs no allocations.
+func (e *Eval) Verify(cols [][]uint64, words int, valid []uint64) {
+	p := e.prog
+	if len(cols) != len(p.circ.Inputs) {
+		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
+	}
+	if p.unsat {
+		for w := 0; w < words; w++ {
+			valid[w] = 0
+		}
+		return
+	}
+	for w := 0; w < words; w++ {
+		e.evalWord(cols, w)
+		valid[w] = e.checkWord()
+	}
+}
+
+// OutputsMask evaluates the circuit on packed input columns and writes one
+// mask word per input word whose bit r is set iff lane r drives every
+// circuit output to its target — the packed analogue of
+// Circuit.OutputsSatisfied, used by tests and tools that check the
+// extracted function rather than the originating CNF.
+func (e *Eval) OutputsMask(cols [][]uint64, words int, ok []uint64) {
+	p := e.prog
+	for w := 0; w < words; w++ {
+		e.evalWord(cols, w)
+		m := ^uint64(0)
+		for _, o := range p.circ.Outputs {
+			v := e.vals[o.Node]
+			if !o.Target {
+				v = ^v
+			}
+			m &= v
+		}
+		ok[w] = m
+	}
+}
+
+// evalWord computes every node's packed value for input word w.
+func (e *Eval) evalWord(cols [][]uint64, w int) {
+	c := e.prog.circ
+	vals := e.vals
+	for i, id := range c.Inputs {
+		vals[id] = cols[i][w]
+	}
+	for id, nd := range c.Nodes {
+		switch nd.Type {
+		case circuit.Input:
+			// loaded above
+		case circuit.Const:
+			if nd.Val {
+				vals[id] = ^uint64(0)
+			} else {
+				vals[id] = 0
+			}
+		case circuit.Buf:
+			vals[id] = vals[nd.Fanin[0]]
+		case circuit.Not:
+			vals[id] = ^vals[nd.Fanin[0]]
+		case circuit.And, circuit.Nand:
+			v := ^uint64(0)
+			for _, f := range nd.Fanin {
+				v &= vals[f]
+			}
+			if nd.Type == circuit.Nand {
+				v = ^v
+			}
+			vals[id] = v
+		case circuit.Or, circuit.Nor:
+			v := uint64(0)
+			for _, f := range nd.Fanin {
+				v |= vals[f]
+			}
+			if nd.Type == circuit.Nor {
+				v = ^v
+			}
+			vals[id] = v
+		case circuit.Xor, circuit.Xnor:
+			v := uint64(0)
+			for _, f := range nd.Fanin {
+				v ^= vals[f]
+			}
+			if nd.Type == circuit.Xnor {
+				v = ^v
+			}
+			vals[id] = v
+		}
+	}
+}
+
+// checkWord ANDs all clause masks for the current word's node values.
+func (e *Eval) checkWord() uint64 {
+	sat := ^uint64(0)
+	vals := e.vals
+	for _, cl := range e.prog.clauses {
+		m := uint64(0)
+		for _, l := range cl {
+			v := vals[l.node]
+			if l.neg {
+				v = ^v
+			}
+			m |= v
+		}
+		sat &= m
+		if sat == 0 {
+			return 0
+		}
+	}
+	return sat
+}
+
+// Hash64 returns a SplitMix64-based hash of a packed bit vector — the
+// shared dedup key for solution pools (core sampler and baselines).
+// Callers must resolve 64-bit collisions with an exact comparison.
+func Hash64(words []uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, x := range words {
+		h ^= x
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// PackColumn sets bit r of col[r/64] to src[r] for r in [0, n), zeroing
+// the words it touches first. It is a convenience for callers packing
+// row-major bool data one column at a time.
+func PackColumn(col []uint64, src []bool) {
+	words := (len(src) + 63) / 64
+	for w := 0; w < words; w++ {
+		col[w] = 0
+	}
+	for r, b := range src {
+		if b {
+			col[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}

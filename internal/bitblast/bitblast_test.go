@@ -1,0 +1,207 @@
+package bitblast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitblast"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/extract"
+)
+
+func randomCircuit(r *rand.Rand, inputs, gates int) *circuit.Circuit {
+	c := circuit.NewCircuit()
+	for i := 0; i < inputs; i++ {
+		c.AddInput("")
+	}
+	types := []circuit.GateType{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
+	for g := 0; g < gates; g++ {
+		ty := types[r.Intn(len(types))]
+		pick := func() circuit.NodeID { return circuit.NodeID(r.Intn(c.NumNodes())) }
+		switch ty {
+		case circuit.Not:
+			c.AddGate(ty, pick())
+		default:
+			a, b := pick(), pick()
+			if a == b {
+				continue
+			}
+			c.AddGate(ty, a, b)
+		}
+	}
+	in := make([]bool, inputs)
+	for i := range in {
+		in[i] = r.Intn(2) == 0
+	}
+	vals := c.Eval(in)
+	last := circuit.NodeID(c.NumNodes() - 1)
+	c.MarkOutput(last, vals[last])
+	return c
+}
+
+// packInputs packs random candidate rows into per-input columns and also
+// returns them row-major for the oracle.
+func packInputs(r *rand.Rand, n, batch int) (cols [][]uint64, rows [][]bool) {
+	words := (batch + 63) / 64
+	cols = make([][]uint64, n)
+	for i := range cols {
+		cols[i] = make([]uint64, words)
+	}
+	rows = make([][]bool, batch)
+	for b := range rows {
+		rows[b] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				rows[b][i] = true
+				cols[i][b>>6] |= 1 << (uint(b) & 63)
+			}
+		}
+	}
+	return cols, rows
+}
+
+// TestVerifyMatchesOracle is the verifier's core differential property:
+// on random Tseitin-encoded circuits run through the paper's
+// transformation, the packed word sweep must agree with the per-row
+// oracle (AssignmentFromInputs + Formula.Sat) on every lane.
+func TestVerifyMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(r, 3+r.Intn(5), 5+r.Intn(15))
+		enc := c.Tseitin()
+		ext, err := extract.Transform(enc.Formula)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := len(ext.Circuit.Inputs)
+		if n == 0 {
+			continue
+		}
+		batch := 70 // deliberately not a multiple of 64: exercises tail lanes
+		cols, rows := packInputs(r, n, batch)
+		words := (batch + 63) / 64
+		valid := make([]uint64, words)
+		ev := ext.Verifier(enc.Formula).NewEval()
+		ev.Verify(cols, words, valid)
+		for b := 0; b < batch; b++ {
+			got := valid[b>>6]>>(uint(b)&63)&1 == 1
+			assign := ext.AssignmentFromInputs(enc.Formula.NumVars, rows[b])
+			want := enc.Formula.Sat(assign)
+			if got != want {
+				t.Fatalf("trial %d row %d: packed=%v oracle=%v", trial, b, got, want)
+			}
+		}
+	}
+}
+
+// TestOutputsMaskMatchesEval checks the circuit-output mask against
+// Circuit.OutputsSatisfied per lane.
+func TestOutputsMaskMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(r, 4, 12)
+		n := len(c.Inputs)
+		cols, rows := packInputs(r, n, 64)
+		p := bitblast.New(c, map[int]circuit.NodeID{}, cnf.New(0))
+		ok := make([]uint64, 1)
+		p.NewEval().OutputsMask(cols, 1, ok)
+		for b := 0; b < 64; b++ {
+			got := ok[0]>>(uint(b)&63)&1 == 1
+			if got != c.OutputsSatisfied(rows[b]) {
+				t.Fatalf("trial %d row %d: mask disagrees with Eval", trial, b)
+			}
+		}
+	}
+}
+
+// TestNodelessVariableConventions: variables with no circuit node default
+// to false, so a clause with a negative nodeless literal is always
+// satisfied and a positive nodeless literal contributes nothing.
+func TestNodelessVariableConventions(t *testing.T) {
+	c := circuit.NewCircuit()
+	x := c.AddInput("x")
+	c.MarkOutput(x, true)
+	nodeOf := map[int]circuit.NodeID{1: x}
+
+	f := cnf.New(2)
+	f.AddClause(cnf.Lit(1), cnf.Lit(-2)) // ¬v2 true by default: clause dropped
+	cols := [][]uint64{{0b10}}
+	valid := make([]uint64, 1)
+	bitblast.New(c, nodeOf, f).NewEval().Verify(cols, 1, valid)
+	if valid[0]&0b11 != 0b11 {
+		t.Errorf("negative nodeless literal should satisfy the clause, got %b", valid[0]&0b11)
+	}
+
+	g := cnf.New(2)
+	g.AddClause(cnf.Lit(1), cnf.Lit(2)) // v2 false by default: only x matters
+	bitblast.New(c, nodeOf, g).NewEval().Verify(cols, 1, valid)
+	if valid[0]&0b11 != 0b10 {
+		t.Errorf("positive nodeless literal must not satisfy the clause, got %b", valid[0]&0b11)
+	}
+
+	h := cnf.New(2)
+	h.AddClause(cnf.Lit(2)) // unsatisfiable through the circuit
+	bitblast.New(c, nodeOf, h).NewEval().Verify(cols, 1, valid)
+	if valid[0] != 0 {
+		t.Errorf("clause on a false-default variable should never verify, got %b", valid[0])
+	}
+}
+
+// TestVerifyZeroAllocs: the word sweep must not allocate.
+func TestVerifyZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	c := randomCircuit(r, 6, 20)
+	enc := c.Tseitin()
+	ext, err := extract.Transform(enc.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ext.Circuit.Inputs)
+	cols, _ := packInputs(r, n, 256)
+	words := 4
+	valid := make([]uint64, words)
+	ev := ext.Verifier(enc.Formula).NewEval()
+	ev.Verify(cols, words, valid)
+	allocs := testing.AllocsPerRun(100, func() { ev.Verify(cols, words, valid) })
+	if allocs != 0 {
+		t.Errorf("Verify allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkVerify compares the packed 64-lane sweep against the per-row
+// oracle on the same workload; the sol/row metrics make the ratio visible
+// in benchstat output.
+func BenchmarkVerify(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	c := randomCircuit(r, 16, 200)
+	enc := c.Tseitin()
+	ext, err := extract.Transform(enc.Formula)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(ext.Circuit.Inputs)
+	batch := 4096
+	cols, rows := packInputs(r, n, batch)
+	words := batch / 64
+	valid := make([]uint64, words)
+	b.Run("packed64", func(b *testing.B) {
+		ev := ext.Verifier(enc.Formula).NewEval()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Verify(cols, words, valid)
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, row := range rows {
+				assign := ext.AssignmentFromInputs(enc.Formula.NumVars, row)
+				if enc.Formula.Sat(assign) {
+					valid[0] |= 1
+				}
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}

@@ -15,6 +15,14 @@ import (
 	"repro/internal/circuit"
 )
 
+// This file is the naive tape interpreter: one value slot per two-input
+// op, no fusion, full-matrix forward/backward. It is no longer on the
+// production path — the fused, register-allocated engine in engine.go
+// replaced it there — but it is kept as the differential-testing oracle:
+// its kernels transcribe the paper's Table I one op at a time, which makes
+// it easy to audit, and the engine is required to reproduce its forward
+// values bit-for-bit (see engine_test.go).
+
 // opcode enumerates the probabilistic kernel operations. Multi-input gates
 // are decomposed into chains of two-input ops at compile time, so the
 // kernels match Table I exactly.

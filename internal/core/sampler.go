@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/bitblast"
 	"repro/internal/cnf"
 	"repro/internal/extract"
 	"repro/internal/tensor"
@@ -73,6 +74,28 @@ func (s Stats) Throughput() float64 {
 	return float64(s.Unique) / s.Elapsed.Seconds()
 }
 
+// EngineStats describes the compiled execution engine (see DESIGN.md).
+type EngineStats struct {
+	Inputs   int // primary inputs
+	Ops      int // fused kernel applications per GD iteration
+	ValSlots int // value slots after fusion + dead-code elimination
+	GradRegs int // adjoint registers after backward-liveness allocation
+	Outputs  int // constrained outputs driven by the loss
+	Tile     int // rows per cache tile
+	Workers  int // per-worker scratch instances
+}
+
+func (e EngineStats) String() string {
+	return fmt.Sprintf("inputs=%d ops=%d slots=%d gregs=%d outputs=%d tile=%d workers=%d",
+		e.Inputs, e.Ops, e.ValSlots, e.GradRegs, e.Outputs, e.Tile, e.Workers)
+}
+
+// stepScratch is one worker's tile-strided value/adjoint storage.
+type stepScratch struct {
+	vals  []float32 // numSlots × tile
+	grads []float32 // numGregs × tile, all-zero between steps (invariant)
+}
+
 // Sampler learns diverse satisfying assignments for one transformed SAT
 // instance. It is not safe for concurrent use; the batch rows themselves
 // are processed in parallel internally according to Config.Device.
@@ -80,16 +103,28 @@ type Sampler struct {
 	cfg     Config
 	formula *cnf.Formula
 	ext     *extract.Result
-	prog    *program
+	eng     *engine
 
-	vmat  *tensor.Matrix // soft inputs V ∈ R^{batch×n}
-	mmat  *tensor.Matrix // momentum accumulator (nil when Momentum == 0)
-	vals  []float32      // slot-major forward values
-	grads []float32      // slot-major adjoints
-	hard  []bool         // hardened bits, row-major batch×n
+	vmat *tensor.Matrix // soft inputs V ∈ R^{batch×n}
+	mmat *tensor.Matrix // momentum accumulator (nil when Momentum == 0)
 
-	unique map[string]struct{}
-	sols   [][]bool // unique PI assignments in discovery order
+	tile    int
+	scratch []stepScratch       // one per device worker
+	loss    []float64           // per-worker loss accumulators
+	stepFn  func(w, lo, hi int) // prebound stripe worker (keeps step at 0 allocs)
+
+	// Bit-parallel verification state: hardened inputs live in packed
+	// uint64 columns (bit r of cols[i][r/64] is row r's value for input
+	// i), verified 64 rows per word sweep by the bitblast program.
+	verify *bitblast.Program
+	veval  *bitblast.Eval
+	colbuf []uint64   // backing store for cols
+	cols   [][]uint64 // one packed column per input
+	valid  []uint64   // per-word validity masks
+	rowbuf []uint64   // one packed candidate row, for hashing/dedup
+
+	unique map[uint64][]int32 // row hash → indices into sols (collision chain)
+	sols   [][]bool           // unique PI assignments in discovery order
 	round  int64
 	stats  Stats
 }
@@ -104,17 +139,58 @@ func New(f *cnf.Formula, ext *extract.Result, cfg Config) (*Sampler, error) {
 		cfg:     cfg,
 		formula: f,
 		ext:     ext,
-		prog:    compile(ext.Circuit),
-		unique:  map[string]struct{}{},
+		eng:     compileEngine(ext.Circuit),
+		unique:  map[uint64][]int32{},
 	}
-	n := len(s.prog.inputs)
-	s.vmat = tensor.NewMatrix(cfg.BatchSize, n)
+	n := s.eng.numInputs
+	batch := cfg.BatchSize
+	s.vmat = tensor.NewMatrix(batch, n)
 	if cfg.Momentum != 0 {
-		s.mmat = tensor.NewMatrix(cfg.BatchSize, n)
+		s.mmat = tensor.NewMatrix(batch, n)
 	}
-	s.vals = make([]float32, s.prog.numSlots*cfg.BatchSize)
-	s.grads = make([]float32, s.prog.numSlots*cfg.BatchSize)
-	s.hard = make([]bool, cfg.BatchSize*n)
+
+	// Tile rows so one worker's full forward+backward working set
+	// (vals + adjoints) stays cache-resident regardless of batch size.
+	const tileTargetBytes = 512 << 10
+	s.tile = tileTargetBytes / (4 * (s.eng.numSlots + s.eng.numGregs))
+	if s.tile < 32 {
+		s.tile = 32
+	}
+	if s.tile > 512 {
+		s.tile = 512
+	}
+	workers := cfg.Device.Workers()
+	s.scratch = make([]stepScratch, workers)
+	for w := range s.scratch {
+		s.scratch[w] = stepScratch{
+			vals:  make([]float32, s.eng.numSlots*s.tile),
+			grads: make([]float32, s.eng.numGregs*s.tile),
+		}
+	}
+	s.loss = make([]float64, workers)
+	s.stepFn = func(w, lo, hi int) {
+		sc := &s.scratch[w]
+		sum := 0.0
+		for tlo := lo; tlo < hi; tlo += s.tile {
+			nt := s.tile
+			if tlo+nt > hi {
+				nt = hi - tlo
+			}
+			sum += s.stepTile(sc, tlo, nt)
+		}
+		s.loss[w] = sum
+	}
+
+	words := (batch + 63) / 64
+	s.verify = ext.Verifier(f)
+	s.veval = s.verify.NewEval()
+	s.colbuf = make([]uint64, n*words)
+	s.cols = make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		s.cols[i] = s.colbuf[i*words : (i+1)*words]
+	}
+	s.valid = make([]uint64, words)
+	s.rowbuf = make([]uint64, (n+63)/64)
 	return s, nil
 }
 
@@ -131,10 +207,23 @@ func NewFromCNF(f *cnf.Formula, cfg Config) (*Sampler, error) {
 func (s *Sampler) Extraction() *extract.Result { return s.ext }
 
 // NumInputs returns the primary-input count of the learned function.
-func (s *Sampler) NumInputs() int { return len(s.prog.inputs) }
+func (s *Sampler) NumInputs() int { return s.eng.numInputs }
 
 // Stats returns a snapshot of accumulated statistics.
 func (s *Sampler) Stats() Stats { return s.stats }
+
+// EngineStats reports the compiled engine's shape.
+func (s *Sampler) EngineStats() EngineStats {
+	return EngineStats{
+		Inputs:   s.eng.numInputs,
+		Ops:      s.eng.OpCount(),
+		ValSlots: s.eng.numSlots,
+		GradRegs: s.eng.numGregs,
+		Outputs:  len(s.eng.outputs),
+		Tile:     s.tile,
+		Workers:  len(s.scratch),
+	}
+}
 
 // Solutions returns the unique satisfying primary-input assignments found
 // so far, in discovery order. The slices are owned by the sampler.
@@ -208,6 +297,16 @@ func (s *Sampler) SampleUntil(target int, timeout time.Duration) Stats {
 	return s.stats
 }
 
+// Step runs a single GD iteration on the current batch without hardening
+// or collecting — exposed for benchmarks and incremental drivers that
+// want to observe the raw engine. Round/RoundTrace remain the paper's
+// sampling loop.
+func (s *Sampler) Step() {
+	start := time.Now()
+	defer func() { s.stats.Elapsed += time.Since(start) }()
+	s.step()
+}
+
 // initRound fills V with fresh uniform noise.
 func (s *Sampler) initRound() {
 	seed := s.cfg.Seed + 0x5DEECE66D*s.round
@@ -218,127 +317,212 @@ func (s *Sampler) initRound() {
 	}
 }
 
-// step performs one GD iteration: P = σ(V); forward; seed output adjoints
-// with dL/dY = 2(Y−T); backward; V -= lr · dL/dP · P(1−P).
+// step performs one GD iteration as a single fused pass: each worker walks
+// its row stripe in cache-sized tiles, and for every tile runs embed →
+// forward → loss/adjoint seeding → backward → V-update entirely from
+// per-worker scratch. There are no full-matrix traversals and no per-call
+// allocations.
 func (s *Sampler) step() {
 	batch := s.cfg.BatchSize
-	n := len(s.prog.inputs)
-	d := s.cfg.Device
-	lr := s.cfg.LearningRate
-	loss := make([]float64, d.Workers())
-	slot := make(chan int, d.Workers())
-	for i := 0; i < d.Workers(); i++ {
-		slot <- i
+	for w := range s.loss {
+		s.loss[w] = 0
 	}
-	d.Run(batch, func(lo, hi int) {
-		w := <-slot
-		defer func() { slot <- w }()
-		// Embedding: P = σ(V) into the input slots (slot-major).
-		for i := 0; i < n; i++ {
-			col := s.vals[int(s.prog.inputs[i])*batch:]
-			for r := lo; r < hi; r++ {
-				col[r] = sigmoid32(s.vmat.At(r, i))
-			}
-		}
-		s.prog.forward(s.vals, batch, lo, hi)
-		// Zero adjoints and seed outputs.
-		for sl := 0; sl < s.prog.numSlots; sl++ {
-			g := s.grads[sl*batch:]
-			for r := lo; r < hi; r++ {
-				g[r] = 0
-			}
-		}
-		sum := 0.0
-		for _, o := range s.prog.outputs {
-			y := s.vals[int(o.slot)*batch:]
-			g := s.grads[int(o.slot)*batch:]
-			for r := lo; r < hi; r++ {
-				diff := y[r] - o.target
-				sum += float64(diff) * float64(diff)
-				g[r] += 2 * diff
-			}
-		}
-		loss[w] += sum
-		s.prog.backward(s.vals, s.grads, batch, lo, hi)
-		// Input update through the sigmoid embedding (optionally with
-		// classical momentum).
-		mom := s.cfg.Momentum
-		for i := 0; i < n; i++ {
-			sl := int(s.prog.inputs[i])
-			p := s.vals[sl*batch:]
-			g := s.grads[sl*batch:]
-			for r := lo; r < hi; r++ {
-				dv := g[r] * p[r] * (1 - p[r])
-				if s.mmat != nil {
-					dv += mom * s.mmat.At(r, i)
-					s.mmat.Set(r, i, dv)
-				}
-				s.vmat.Set(r, i, s.vmat.At(r, i)-lr*dv)
-			}
-		}
-	})
+	s.cfg.Device.RunIndexed(batch, s.stepFn)
 	total := 0.0
-	for _, l := range loss {
+	for _, l := range s.loss {
 		total += l
 	}
-	s.stats.FinalLoss = total
+	s.stats.FinalLoss = total + s.eng.constLoss*float64(batch)
 	s.stats.Iterations++
 }
 
-// collect hardens V, verifies each row against the CNF, and folds new
-// unique solutions into the pool. It returns the number of new uniques.
+// stepTile runs the fused pipeline for rows [r0, r0+nt) and returns their
+// summed output loss.
+func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
+	e := s.eng
+	tile := s.tile
+	vals, grads := sc.vals, sc.grads
+	lr, mom := s.cfg.LearningRate, s.cfg.Momentum
+
+	// Embedding: P = σ(V) for inputs on constrained paths; dead inputs
+	// receive no gradient, so their soft values are never read.
+	for t := 0; t < nt; t++ {
+		row := s.vmat.Row(r0 + t)
+		for _, i := range e.liveInList {
+			vals[int(i)*tile+t] = sigmoid32(row[i])
+		}
+	}
+	e.forwardTile(vals, tile, nt)
+
+	// Loss and output-adjoint seeding: dL/dY = 2(Y − T). Registers hold
+	// zero between steps, so seeding accumulates without a clearing pass.
+	sum := 0.0
+	for t := 0; t < nt; t++ {
+		for _, o := range e.outputs {
+			diff := vals[int(o.slot)*tile+t] - o.target
+			sum += float64(diff) * float64(diff)
+			grads[int(o.greg)*tile+t] += 2 * diff
+		}
+	}
+	e.backwardTile(vals, grads, tile, nt)
+
+	// Input update through the sigmoid embedding (optionally with
+	// classical momentum). Reading an input's adjoint re-zeroes it,
+	// restoring the engine's register invariant for the next step.
+	n := e.numInputs
+	for t := 0; t < nt; t++ {
+		r := r0 + t
+		vrow := s.vmat.Row(r)
+		var mrow []float32
+		if s.mmat != nil {
+			mrow = s.mmat.Row(r)
+		}
+		for i := 0; i < n; i++ {
+			var dv float32
+			if e.liveIn[i] {
+				g := grads[i*tile+t]
+				grads[i*tile+t] = 0
+				p := vals[i*tile+t]
+				dv = g * p * (1 - p)
+			}
+			if mrow != nil {
+				dv += mom * mrow[i]
+				mrow[i] = dv
+			}
+			vrow[i] = vrow[i] - lr*dv
+		}
+	}
+	return sum
+}
+
+// collect hardens V into packed columns, verifies 64 candidate rows per
+// word sweep against the original CNF, and folds new unique solutions into
+// the pool using 64-bit row hashes (with exact comparison on collision).
+// It returns the number of new uniques.
 func (s *Sampler) collect() int {
 	batch := s.cfg.BatchSize
-	n := len(s.prog.inputs)
-	tensor.Harden(s.cfg.Device, s.hard, s.vmat, 0)
-	newUnique := 0
-	key := make([]byte, (n+7)/8)
+	n := s.eng.numInputs
+	words := (batch + 63) / 64
+
+	// Harden: bit r of cols[i] is V[r][i] > 0.
+	for i := range s.colbuf {
+		s.colbuf[i] = 0
+	}
 	for r := 0; r < batch; r++ {
-		row := s.hard[r*n : (r+1)*n]
-		s.stats.Candidates++
-		for i := range key {
-			key[i] = 0
-		}
-		for i, b := range row {
-			if b {
-				key[i/8] |= 1 << (i % 8)
+		row := s.vmat.Row(r)
+		w, b := r>>6, uint(r)&63
+		for i := 0; i < n; i++ {
+			if row[i] > 0 {
+				s.cols[i][w] |= 1 << b
 			}
 		}
-		if _, dup := s.unique[string(key)]; dup {
+	}
+
+	s.veval.Verify(s.cols, words, s.valid)
+	if tail := uint(batch) & 63; tail != 0 {
+		s.valid[words-1] &= (1 << tail) - 1
+	}
+
+	newUnique := 0
+	s.stats.Candidates += batch
+	for r := 0; r < batch; r++ {
+		if s.valid[r>>6]>>(uint(r)&63)&1 == 0 {
 			continue
 		}
-		assign := s.ext.AssignmentFromInputs(s.formula.NumVars, row)
-		if !s.formula.Sat(assign) {
+		h := s.packRow(r)
+		if s.isDuplicate(h) {
 			continue
 		}
 		s.stats.Valid++
-		s.unique[string(key)] = struct{}{}
-		sol := append([]bool(nil), row...)
+		sol := make([]bool, n)
+		w, b := r>>6, uint(r)&63
+		for i := 0; i < n; i++ {
+			sol[i] = s.cols[i][w]>>b&1 == 1
+		}
+		s.unique[h] = append(s.unique[h], int32(len(s.sols)))
 		s.sols = append(s.sols, sol)
 		newUnique++
 	}
-	s.stats.Unique = len(s.unique)
+	s.stats.Unique = len(s.sols)
 	return newUnique
+}
+
+// packRow gathers candidate row r from the packed columns into rowbuf and
+// returns its 64-bit hash.
+func (s *Sampler) packRow(r int) uint64 {
+	w, b := r>>6, uint(r)&63
+	for i := range s.rowbuf {
+		s.rowbuf[i] = 0
+	}
+	n := s.eng.numInputs
+	for i := 0; i < n; i++ {
+		s.rowbuf[i>>6] |= (s.cols[i][w] >> b & 1) << (uint(i) & 63)
+	}
+	return bitblast.Hash64(s.rowbuf)
+}
+
+// isDuplicate reports whether the candidate currently in rowbuf is already
+// in the pool, comparing actual bits on hash hits so a 64-bit collision
+// can never merge distinct solutions.
+func (s *Sampler) isDuplicate(h uint64) bool {
+	for _, idx := range s.unique[h] {
+		sol := s.sols[idx]
+		same := true
+		for i, v := range sol {
+			if s.rowbuf[i>>6]>>(uint(i)&63)&1 == 1 != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
 }
 
 func sigmoid32(v float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(v))))
 }
 
-// MemoryEstimate returns the resident bytes the sampler's tensors occupy
-// for a hypothetical batch size (the Fig. 3 right memory model): forward
-// values + adjoints (numSlots each) and the input matrices (V plus the
-// hardened bits).
+// MemoryEstimate returns the resident bytes the sampler's state occupies
+// for a hypothetical batch size (the Fig. 3 right memory model). The
+// engine's tiled value/adjoint scratch is a fixed cost per device worker —
+// batch rows stream through it — so scaling the batch only grows the
+// linear terms: the soft-input matrix V (plus momentum when enabled), the
+// packed hardened columns, and the per-word validity masks.
 func (s *Sampler) MemoryEstimate(batch int) int64 {
-	n := int64(len(s.prog.inputs))
-	slots := int64(s.prog.numSlots)
+	n := int64(s.eng.numInputs)
 	b := int64(batch)
-	return 4*b*(2*slots+n) + b*n // float32 buffers + 1 byte per hard bit
+	fixed := int64(len(s.scratch)) * int64(s.tile) * int64(s.eng.numSlots+s.eng.numGregs) * 4
+	linear := 4 * b * n // V
+	if s.mmat != nil {
+		linear += 4 * b * n // momentum
+	}
+	linear += b * n / 8 // packed hardened columns
+	linear += b / 8     // validity masks
+	return fixed + linear
+}
+
+// BatchForBudget returns the largest batch size whose MemoryEstimate fits
+// the given byte budget (at least 1): the fixed engine scratch is paid
+// first and the remainder is divided by the per-row cost.
+func (s *Sampler) BatchForBudget(budget int64) int {
+	fixed := s.MemoryEstimate(0)
+	perRow := s.MemoryEstimate(1024) - fixed
+	if perRow <= 0 {
+		return 1
+	}
+	b := (budget - fixed) * 1024 / perRow
+	if b < 1 {
+		return 1
+	}
+	return int(b)
 }
 
 // String describes the sampler configuration.
 func (s *Sampler) String() string {
-	return fmt.Sprintf("core.Sampler{inputs=%d slots=%d ops=%d batch=%d iters=%d lr=%g device=%s}",
-		s.NumInputs(), s.prog.numSlots, s.prog.OpCount(), s.cfg.BatchSize,
-		s.cfg.Iterations, s.cfg.LearningRate, s.cfg.Device.Name())
+	return fmt.Sprintf("core.Sampler{inputs=%d slots=%d gregs=%d ops=%d batch=%d iters=%d lr=%g tile=%d device=%s}",
+		s.NumInputs(), s.eng.numSlots, s.eng.numGregs, s.eng.OpCount(), s.cfg.BatchSize,
+		s.cfg.Iterations, s.cfg.LearningRate, s.tile, s.cfg.Device.Name())
 }

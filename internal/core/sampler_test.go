@@ -286,16 +286,42 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
-func TestMemoryEstimateScalesLinearly(t *testing.T) {
+func TestMemoryEstimateAffineInBatch(t *testing.T) {
+	// The tiled engine's scratch is a fixed per-worker cost; only V, the
+	// packed hardened columns, and the validity masks scale with batch.
+	// The model must therefore be affine with a positive slope: equal
+	// batch increments add equal bytes.
 	f := mustFormula(t, paperExample)
 	s := newSampler(t, f, Config{BatchSize: 16})
-	m1 := s.MemoryEstimate(1000)
-	m2 := s.MemoryEstimate(2000)
-	if m2 != 2*m1 {
-		t.Errorf("memory model not linear in batch: %d vs %d", m1, m2)
+	m1 := s.MemoryEstimate(1024)
+	m2 := s.MemoryEstimate(2048)
+	m3 := s.MemoryEstimate(3072)
+	if m2-m1 != m3-m2 {
+		t.Errorf("memory model not affine in batch: %d %d %d", m1, m2, m3)
+	}
+	if m2 <= m1 {
+		t.Errorf("memory model slope not positive: %d vs %d", m1, m2)
 	}
 	if m1 <= 0 {
 		t.Error("memory estimate not positive")
+	}
+}
+
+func TestBatchForBudgetRoundTrips(t *testing.T) {
+	f := mustFormula(t, paperExample)
+	s := newSampler(t, f, Config{BatchSize: 16})
+	budget := int64(1 << 20)
+	b := s.BatchForBudget(budget)
+	if b < 1 {
+		t.Fatalf("batch = %d", b)
+	}
+	if got := s.MemoryEstimate(b); got > budget+budget/64 {
+		t.Errorf("estimate %d exceeds budget %d at batch %d", got, budget, b)
+	}
+	// Doubling the budget should (roughly) double the affordable batch.
+	b2 := s.BatchForBudget(2 * budget)
+	if b2 <= b {
+		t.Errorf("larger budget did not increase batch: %d vs %d", b, b2)
 	}
 }
 

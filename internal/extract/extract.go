@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/bitblast"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/logic"
@@ -111,6 +112,15 @@ func (r *Result) AssignmentFromInputs(numVars int, inputs []bool) []bool {
 		assign[v-1] = vals[id]
 	}
 	return assign
+}
+
+// Verifier compiles a bit-parallel checker for this transformation: it
+// reconstructs the full CNF assignment of 64 candidate primary-input rows
+// per uint64 word sweep and reports which rows satisfy f — the packed
+// analogue of AssignmentFromInputs + Formula.Sat, sharing the same
+// nodeless-variables-default-false convention through NodeOf.
+func (r *Result) Verifier(f *cnf.Formula) *bitblast.Program {
+	return bitblast.New(r.Circuit, r.NodeOf, f)
 }
 
 // Transform runs Algorithm 1 on f.

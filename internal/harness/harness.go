@@ -82,8 +82,10 @@ func NewCoreSamplerFromExtract(f *cnf.Formula, ext *extract.Result, opt RunOptio
 	if err != nil {
 		return nil, err
 	}
-	perRow := probe.MemoryEstimate(1)
-	batch := int(opt.MemoryBudget / maxI64(perRow, 1))
+	// The engine's tiled scratch is a fixed cost, so batch sizing solves
+	// fixed + perRow·batch <= budget rather than dividing by a per-row
+	// estimate (which would charge every row for the scratch).
+	batch := probe.BatchForBudget(opt.MemoryBudget)
 	if batch < 64 {
 		batch = 64
 	}
@@ -102,13 +104,6 @@ func NewCoreSamplerFromExtract(f *cnf.Formula, ext *extract.Result, opt RunOptio
 		return nil, err
 	}
 	return &CoreSampler{s: s}, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Name implements baselines.Sampler.

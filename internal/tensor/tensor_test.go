@@ -2,6 +2,8 @@ package tensor
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -44,6 +46,72 @@ func TestRunCoversRangeExactlyOnce(t *testing.T) {
 			}
 		}
 		_ = ranges
+	}
+}
+
+func TestRandomizeRowsDecorrelated(t *testing.T) {
+	// Regression: with identical row-stride and per-draw increments, the
+	// SplitMix64 streams degenerate to row r+1 being row r shifted by one
+	// column. Batch rows are independent GD restarts — they must not be
+	// shifted copies of each other.
+	m := NewMatrix(8, 64)
+	m.Randomize(Sequential(), 42, 0, 1)
+	for r := 0; r+1 < m.Rows; r++ {
+		shifted := 0
+		for i := 0; i+1 < m.Cols; i++ {
+			if m.At(r, i+1) == m.At(r+1, i) {
+				shifted++
+			}
+		}
+		if shifted > m.Cols/4 {
+			t.Fatalf("row %d and %d look like shifted copies (%d/%d equal)", r, r+1, shifted, m.Cols-1)
+		}
+	}
+}
+
+func TestRunIndexedWorkerIdentity(t *testing.T) {
+	for _, d := range []Device{Sequential(), ParallelN(3), ParallelN(8)} {
+		n := 100
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		workerRanges := map[int]int{}
+		d.RunIndexed(n, func(w, lo, hi int) {
+			if w < 0 || w >= d.Workers() {
+				t.Errorf("%s: worker index %d out of [0, %d)", d.Name(), w, d.Workers())
+			}
+			mu.Lock()
+			workerRanges[w]++
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("%s: index %d covered %d times", d.Name(), i, h)
+			}
+		}
+		// Worker indices must be unique per concurrent stripe: each index
+		// is used at most once per RunIndexed call.
+		for w, c := range workerRanges {
+			if c != 1 {
+				t.Errorf("%s: worker %d ran %d stripes", d.Name(), w, c)
+			}
+		}
+	}
+}
+
+func TestRunIndexedTinyNInlines(t *testing.T) {
+	// n below the striping threshold runs inline as worker 0.
+	called := 0
+	ParallelN(8).RunIndexed(3, func(w, lo, hi int) {
+		called++
+		if w != 0 || lo != 0 || hi != 3 {
+			t.Errorf("inline path got (w=%d, lo=%d, hi=%d)", w, lo, hi)
+		}
+	})
+	if called != 1 {
+		t.Error("inline path not taken exactly once")
 	}
 }
 
