@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -252,7 +253,7 @@ func BenchmarkTransform(b *testing.B) {
 func BenchmarkHarnessTable2(b *testing.B) {
 	ins := benchgen.SmallSuite()
 	for i := 0; i < b.N; i++ {
-		rows := harness.RunTable2(ins, harness.RunOptions{
+		rows := harness.RunTable2(context.Background(), ins, harness.RunOptions{
 			Target: 50, Timeout: 2 * time.Second, Device: tensor.Parallel(),
 		})
 		if len(rows) != len(ins) {

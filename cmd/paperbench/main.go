@@ -11,24 +11,32 @@
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
 // minutes rather than the paper's 2-hour timeouts (see EXPERIMENTS.md).
 // -csv switches the output to CSV for plotting.
+//
+// All experiments share one sampling.Compiler, so each instance is
+// transformed and engine-compiled once for the whole run (fig3, fig4 and
+// engine reuse table2's compilations under -exp all). SIGINT cancels the
+// in-flight sampling run and renders whatever rows completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/benchgen"
 	"repro/internal/core"
-	"repro/internal/extract"
 	"repro/internal/harness"
+	"repro/internal/sampling"
 	"repro/internal/tensor"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | all")
+		exp     = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | all")
 		target  = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -37,11 +45,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	dev := tensor.Parallel()
 	if *workers > 0 {
 		dev = tensor.ParallelN(*workers)
 	}
-	opt := harness.RunOptions{Target: *target, Timeout: *timeout, Device: dev}
+	compiler := sampling.NewCompiler(0)
+	opt := harness.RunOptions{Target: *target, Timeout: *timeout, Device: dev, Compiler: compiler}
 
 	table2Set := benchgen.Table2Instances
 	fig2Set := benchgen.Suite60
@@ -54,36 +66,39 @@ func main() {
 
 	switch *exp {
 	case "table2":
-		runTable2(table2Set(), opt, *csv)
+		runTable2(ctx, table2Set(), opt, *csv)
 	case "fig2":
-		runFig2(fig2Set(), opt, *csv)
+		runFig2(ctx, fig2Set(), opt, *csv)
 	case "fig3":
-		runFig3(figSet(), opt)
+		runFig3(ctx, figSet(), opt)
 	case "fig4":
-		runFig4(figSet(), opt)
+		runFig4(ctx, figSet(), opt)
 	case "engine":
-		runEngine(figSet(), dev)
+		runEngine(ctx, figSet(), compiler, dev)
 	case "all":
-		runTable2(table2Set(), opt, *csv)
+		runTable2(ctx, table2Set(), opt, *csv)
 		fmt.Println()
-		runFig2(fig2Set(), opt, *csv)
+		runFig2(ctx, fig2Set(), opt, *csv)
 		fmt.Println()
-		runFig3(figSet(), opt)
+		runFig3(ctx, figSet(), opt)
 		fmt.Println()
-		runFig4(figSet(), opt)
+		runFig4(ctx, figSet(), opt)
 		fmt.Println()
-		runEngine(figSet(), dev)
+		runEngine(ctx, figSet(), compiler, dev)
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: interrupted — rendered partial results")
+	}
 }
 
-func runTable2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+func runTable2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
 	fmt.Printf("== Table II: unique-solution throughput (target %d, timeout %v) ==\n\n",
 		opt.Target, opt.Timeout)
-	rows := harness.RunTable2(ins, opt)
+	rows := harness.RunTable2(ctx, ins, opt)
 	if csv {
 		harness.RenderTable2CSV(os.Stdout, rows)
 		return
@@ -91,9 +106,9 @@ func runTable2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
 	harness.RenderTable2(os.Stdout, rows)
 }
 
-func runFig2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+func runFig2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
 	fmt.Printf("== Fig. 2: latency vs unique solutions (%d instances) ==\n\n", len(ins))
-	pts := harness.RunFig2(ins, []int{10, 100, 1000}, opt)
+	pts := harness.RunFig2(ctx, ins, []int{10, 100, 1000}, opt)
 	if csv {
 		harness.RenderFig2CSV(os.Stdout, pts)
 		return
@@ -101,43 +116,49 @@ func runFig2(ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
 	harness.RenderFig2(os.Stdout, pts)
 }
 
-func runFig3(ins []*benchgen.Instance, opt harness.RunOptions) {
+func runFig3(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions) {
 	fmt.Println("== Fig. 3: learning dynamics and memory scaling ==")
 	fmt.Println()
-	res := harness.RunFig3(ins, 10, []int{100, 1000, 10000, 100000, 1000000}, opt)
+	res := harness.RunFig3(ctx, ins, 10, []int{100, 1000, 10000, 100000, 1000000}, opt)
 	harness.RenderFig3(os.Stdout, res)
 }
 
-func runFig4(ins []*benchgen.Instance, opt harness.RunOptions) {
+func runFig4(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions) {
 	fmt.Println("== Fig. 4: device ablation, ops reduction, transformation time ==")
 	fmt.Println()
-	rows := harness.RunFig4(ins, opt)
+	rows := harness.RunFig4(ctx, ins, opt)
 	harness.RenderFig4(os.Stdout, rows)
 }
 
 // runEngine reports the compiled execution engine's shape per instance:
 // fused kernel count, value slots after inverter fusion + dead-code
 // elimination, adjoint registers after backward-liveness allocation, the
-// cache tile, and the Fig. 3 memory model at two batch sizes.
-func runEngine(ins []*benchgen.Instance, dev tensor.Device) {
+// cache tile, and the Fig. 3 memory model at two batch sizes. Problems
+// come from the shared compiler — under -exp all this is pure cache hits.
+func runEngine(ctx context.Context, ins []*benchgen.Instance, compiler *sampling.Compiler, dev tensor.Device) {
 	fmt.Println("== Execution engine: fusion, register allocation, memory model ==")
 	fmt.Println()
 	fmt.Printf("%-22s %8s %8s %8s %8s %8s %6s %12s %12s\n",
 		"instance", "inputs", "gates", "ops", "slots", "gregs", "tile", "MB@4096", "MB@1M")
 	for _, in := range ins {
-		ext, err := extract.Transform(in.Formula)
+		if ctx.Err() != nil {
+			break
+		}
+		p, err := compiler.Compile(in.Formula)
 		if err != nil {
-			fmt.Printf("%-22s transform failed: %v\n", in.Name, err)
+			fmt.Printf("%-22s compile failed: %v\n", in.Name, err)
 			continue
 		}
-		s, err := core.New(in.Formula, ext, core.Config{BatchSize: 4096, Device: dev})
+		s, err := p.Core().NewSampler(core.Config{BatchSize: 4096, Device: dev})
 		if err != nil {
 			fmt.Printf("%-22s sampler failed: %v\n", in.Name, err)
 			continue
 		}
 		es := s.EngineStats()
 		fmt.Printf("%-22s %8d %8d %8d %8d %8d %6d %12.2f %12.1f\n",
-			in.Name, es.Inputs, ext.Circuit.NumGates(), es.Ops, es.ValSlots, es.GradRegs, es.Tile,
+			in.Name, es.Inputs, p.Extraction().Circuit.NumGates(), es.Ops, es.ValSlots, es.GradRegs, es.Tile,
 			float64(s.MemoryEstimate(4096))/(1<<20), float64(s.MemoryEstimate(1_000_000))/(1<<20))
 	}
+	cs := compiler.Stats()
+	fmt.Printf("\ncompile cache: %d hits, %d misses, %d entries\n", cs.Hits, cs.Misses, cs.Entries)
 }

@@ -10,28 +10,42 @@
 //
 // Samplers: gd (this work), diff, cmsgen, unigen.
 // Output: one solution per line, as a 0/1 string over variables 1..N,
-// preceded by a summary on stderr.
+// streamed as each solution is verified; a summary goes to stderr.
+//
+// Sampling is cancellable: SIGINT/SIGTERM or the -timeout deadline stop
+// the run cleanly, and every solution found so far is flushed to the
+// output before exit — a partial result, not an empty file.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/extract"
+	"repro/internal/sampling"
 	"repro/internal/tensor"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "satsample:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		inPath  = flag.String("in", "", "DIMACS CNF input file (required)")
-		n       = flag.Int("n", 1000, "number of unique solutions to sample")
-		timeout = flag.Duration("timeout", 30*time.Second, "sampling timeout")
+		n       = flag.Int("n", 1000, "number of unique solutions to sample (0 = unbounded: stream until timeout or interrupt)")
+		timeout = flag.Duration("timeout", 30*time.Second, "sampling timeout (0 = none)")
 		sampler = flag.String("sampler", "gd", "sampler: gd | diff | cmsgen | unigen")
 		batch   = flag.Int("batch", 4096, "GD batch size")
 		iters   = flag.Int("iters", 5, "GD iterations per round")
@@ -47,9 +61,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := cnf.ReadDIMACSFile(*inPath)
-	if err != nil {
-		fatal(err)
+	f, rerr := cnf.ReadDIMACSFile(*inPath)
+	if rerr != nil {
+		return rerr
 	}
 	dev := tensor.Parallel()
 	if *workers == 1 {
@@ -60,87 +74,124 @@ func main() {
 
 	out := os.Stdout
 	if *outPath != "" {
-		fh, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
+		fh, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer fh.Close()
+		// Close errors surface (they can hide a lost final write); an
+		// earlier error takes precedence.
+		defer func() {
+			if cerr := fh.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		out = fh
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
+	defer func() {
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
-	switch *sampler {
-	case "gd":
-		runGD(f, w, *n, *timeout, core.Config{
-			BatchSize:    *batch,
-			Iterations:   *iters,
-			LearningRate: float32(*lr),
-			Seed:         *seed,
-			Device:       dev,
-		}, *verbose)
-	case "diff":
-		d := baselines.NewDiffSampler(f, *seed, dev)
-		d.BatchSize = *batch
-		runBaseline(f, d, w, *n, *timeout)
-	case "cmsgen":
-		runBaseline(f, baselines.NewCMSGenLike(f, *seed), w, *n, *timeout)
-	case "unigen":
-		runBaseline(f, baselines.NewUniGenLike(f, *seed), w, *n, *timeout)
-	default:
-		fatal(fmt.Errorf("unknown sampler %q", *sampler))
-	}
-}
+	// SIGINT/SIGTERM cancel sampling; the deferred flush above still runs,
+	// so everything streamed before the signal reaches the output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-func runGD(f *cnf.Formula, w *bufio.Writer, n int, timeout time.Duration, cfg core.Config, verbose bool) {
 	start := time.Now()
-	ext, err := extract.Transform(f)
+	s, err := buildSampler(f, *sampler, sampling.SessionConfig{
+		BatchSize:    *batch,
+		Iterations:   *iters,
+		LearningRate: float32(*lr),
+		Seed:         *seed,
+		Device:       dev,
+	}, *verbose)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if verbose {
-		fmt.Fprintf(os.Stderr, "transform: %v (PI=%d IV=%d PO=%d, ops %d -> %d)\n",
-			ext.TransformTime.Round(time.Millisecond),
-			len(ext.PrimaryInputs), len(ext.Intermediates), len(ext.PrimaryOutputs),
-			f.OpCount2(), ext.Circuit.OpCount2())
+
+	// The timeout budgets sampling only — it starts after the CNF
+	// transform and engine compile, so a slow-to-compile instance still
+	// gets its full sampling window.
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	s, err := core.New(f, ext, cfg)
-	if err != nil {
-		fatal(err)
+
+	written := 0
+	st, serr := s.Stream(ctx, *n, func(sol []bool) error {
+		written++
+		return writeBits(w, sol)
+	})
+	if serr != nil {
+		return fmt.Errorf("streaming solutions: %w", serr)
 	}
-	if verbose {
-		fmt.Fprintln(os.Stderr, s)
+	status := ""
+	switch {
+	case st.Timeout && errors.Is(ctx.Err(), context.Canceled):
+		status = " (interrupted, partial results flushed)"
+	case st.Timeout:
+		status = " (timeout, partial results flushed)"
+	case st.Exhausted:
+		status = " (solution space exhausted)"
 	}
-	st := s.SampleUntil(n, timeout)
-	for _, sol := range s.Solutions() {
-		writeBits(w, s.FullAssignment(sol))
+	fmt.Fprintf(os.Stderr, "%s: %d unique solutions in %v (%.1f sol/s, %d calls, total %v)%s\n",
+		s.Name(), st.Unique, st.Elapsed.Round(time.Millisecond), st.Throughput(), st.Calls,
+		time.Since(start).Round(time.Millisecond), status)
+	if written != st.Unique {
+		return fmt.Errorf("streamed %d of %d solutions", written, st.Unique)
 	}
-	fmt.Fprintf(os.Stderr, "gd: %d unique solutions in %v (%.1f sol/s, %d rounds, total %v)\n",
-		st.Unique, st.Elapsed.Round(time.Millisecond), st.Throughput(), st.Rounds,
-		time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
-func runBaseline(f *cnf.Formula, s baselines.Sampler, w *bufio.Writer, n int, timeout time.Duration) {
-	st := s.Sample(n, timeout)
-	for _, m := range s.Solutions() {
-		writeBits(w, m)
+// buildSampler constructs the requested sampler behind the unified
+// streaming interface; the GD sampler compiles through the service layer.
+func buildSampler(f *cnf.Formula, kind string, cfg sampling.SessionConfig, verbose bool) (sampling.Sampler, error) {
+	switch kind {
+	case "gd":
+		p, err := sampling.CompileProblem(f)
+		if err != nil {
+			return nil, err
+		}
+		if verbose {
+			ext := p.Extraction()
+			fmt.Fprintf(os.Stderr, "transform: %v (PI=%d IV=%d PO=%d, ops %d -> %d)\n",
+				ext.TransformTime.Round(time.Millisecond),
+				len(ext.PrimaryInputs), len(ext.Intermediates), len(ext.PrimaryOutputs),
+				f.OpCount2(), ext.Circuit.OpCount2())
+		}
+		s, err := p.NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if verbose {
+			fmt.Fprintln(os.Stderr, s.Core())
+		}
+		return s, nil
+	case "diff":
+		d := baselines.NewDiffSampler(f, cfg.Seed, cfg.Device)
+		d.BatchSize = cfg.BatchSize
+		return sampling.Wrap(d), nil
+	case "cmsgen":
+		return sampling.Wrap(baselines.NewCMSGenLike(f, cfg.Seed)), nil
+	case "unigen":
+		return sampling.Wrap(baselines.NewUniGenLike(f, cfg.Seed)), nil
+	default:
+		return nil, fmt.Errorf("unknown sampler %q", kind)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d unique solutions in %v (%.1f sol/s)\n",
-		s.Name(), st.Unique, st.Elapsed.Round(time.Millisecond), st.Throughput())
 }
 
-func writeBits(w *bufio.Writer, bits []bool) {
+func writeBits(w *bufio.Writer, bits []bool) error {
 	for _, b := range bits {
+		c := byte('0')
 		if b {
-			w.WriteByte('1')
-		} else {
-			w.WriteByte('0')
+			c = '1'
+		}
+		if err := w.WriteByte(c); err != nil {
+			return err
 		}
 	}
-	w.WriteByte('\n')
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "satsample:", err)
-	os.Exit(1)
+	return w.WriteByte('\n')
 }

@@ -35,7 +35,7 @@ func newNaiveSampler(t *testing.T, f *cnf.Formula, cfg Config) *naiveSampler {
 	t.Helper()
 	s := newSampler(t, f, cfg)
 	cfg = cfg.withDefaults()
-	prog := compile(s.ext.Circuit)
+	prog := compile(s.prob.ext.Circuit)
 	n := len(prog.inputs)
 	ns := &naiveSampler{
 		cfg: cfg, formula: f, s: s, prog: prog,
@@ -118,7 +118,7 @@ func (ns *naiveSampler) collect() {
 		if _, dup := ns.unique[string(key)]; dup {
 			continue
 		}
-		assign := ns.s.ext.AssignmentFromInputs(ns.formula.NumVars, row)
+		assign := ns.s.prob.ext.AssignmentFromInputs(ns.formula.NumVars, row)
 		if !ns.formula.Sat(assign) {
 			continue
 		}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/bitblast"
+	"repro/internal/cnf"
+	"repro/internal/extract"
+)
+
+// Problem is the immutable compiled form of one transformed SAT instance:
+// the parsed CNF, its extraction result, the fused register-allocated GD
+// engine and the bit-parallel CNF verifier, plus the cache tile derived
+// from the engine's working set. A Problem carries no per-run state — it
+// is safe to share between any number of concurrently running Samplers,
+// which is what lets a service compile an instance once and serve many
+// sampling sessions from the single artifact (see internal/sampling).
+type Problem struct {
+	formula *cnf.Formula
+	ext     *extract.Result
+	eng     *engine
+	verify  *bitblast.Program
+	tile    int
+}
+
+// Compile lowers a transformation result into a shareable Problem: it
+// compiles the fused engine, the bitblast verifier, and the cache tile.
+// The returned Problem is read-only and safe for concurrent use.
+func Compile(f *cnf.Formula, ext *extract.Result) (*Problem, error) {
+	if len(ext.Circuit.Inputs) == 0 {
+		return nil, errors.New("core: transformed circuit has no primary inputs")
+	}
+	p := &Problem{
+		formula: f,
+		ext:     ext,
+		eng:     compileEngine(ext.Circuit),
+		verify:  ext.Verifier(f),
+	}
+	// Tile rows so one worker's full forward+backward working set
+	// (vals + adjoints) stays cache-resident regardless of batch size.
+	const tileTargetBytes = 512 << 10
+	p.tile = tileTargetBytes / (4 * (p.eng.numSlots + p.eng.numGregs))
+	if p.tile < 32 {
+		p.tile = 32
+	}
+	if p.tile > 512 {
+		p.tile = 512
+	}
+	return p, nil
+}
+
+// CompileCNF transforms f with extract.Transform and compiles the result.
+func CompileCNF(f *cnf.Formula) (*Problem, error) {
+	ext, err := extract.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f, ext)
+}
+
+// Formula returns the CNF this problem was compiled from.
+func (p *Problem) Formula() *cnf.Formula { return p.formula }
+
+// Extraction returns the transformation result backing this problem.
+func (p *Problem) Extraction() *extract.Result { return p.ext }
+
+// NumInputs returns the primary-input count of the learned function.
+func (p *Problem) NumInputs() int { return p.eng.numInputs }
+
+// Tile returns the cache tile (rows per worker pass) derived from the
+// engine's working set.
+func (p *Problem) Tile() int { return p.tile }
+
+// NewSampler builds a sampler session over this compiled problem. Any
+// number of samplers may run concurrently over one Problem; each owns its
+// V/momentum matrices, per-worker scratch, verifier state and dedup pool.
+func (p *Problem) NewSampler(cfg Config) (*Sampler, error) {
+	return newSession(p, cfg)
+}
+
+// AssignmentFromInputs expands a primary-input solution into a dense CNF
+// assignment (assign[v-1] = value of CNF variable v).
+func (p *Problem) AssignmentFromInputs(sol []bool) []bool {
+	return p.ext.AssignmentFromInputs(p.formula.NumVars, sol)
+}
+
+// MemoryEstimate returns the resident bytes a sampler session over this
+// problem occupies for the given device worker count, batch size, and
+// momentum setting (the Fig. 3 right memory model). The engine's tiled
+// value/adjoint scratch is a fixed per-worker cost — batch rows stream
+// through it — so scaling the batch only grows the linear terms: the
+// soft-input matrix V (plus momentum when enabled), the packed hardened
+// columns, and the per-word validity masks. Pure arithmetic on the
+// compiled shape: no session needs to exist.
+func (p *Problem) MemoryEstimate(workers, batch int, momentum bool) int64 {
+	n := int64(p.eng.numInputs)
+	b := int64(batch)
+	fixed := int64(workers) * int64(p.tile) * int64(p.eng.numSlots+p.eng.numGregs) * 4
+	linear := 4 * b * n // V
+	if momentum {
+		linear += 4 * b * n
+	}
+	linear += b * n / 8 // packed hardened columns
+	linear += b / 8     // validity masks
+	return fixed + linear
+}
+
+// BatchForBudget returns the largest batch size whose MemoryEstimate fits
+// the given byte budget (at least 1): the fixed engine scratch is paid
+// first and the remainder is divided by the per-row cost.
+func (p *Problem) BatchForBudget(workers int, momentum bool, budget int64) int {
+	fixed := p.MemoryEstimate(workers, 0, momentum)
+	perRow := p.MemoryEstimate(workers, 1024, momentum) - fixed
+	if perRow <= 0 {
+		return 1
+	}
+	b := (budget - fixed) * 1024 / perRow
+	if b < 1 {
+		return 1
+	}
+	return int(b)
+}

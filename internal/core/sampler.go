@@ -96,27 +96,28 @@ type stepScratch struct {
 	grads []float32 // numGregs × tile, all-zero between steps (invariant)
 }
 
-// Sampler learns diverse satisfying assignments for one transformed SAT
-// instance. It is not safe for concurrent use; the batch rows themselves
+// Sampler is one sampling session over a compiled Problem: it learns
+// diverse satisfying assignments for one transformed SAT instance. The
+// Problem is shared and read-only; everything else (V/momentum matrices,
+// per-worker scratch, verifier state, dedup pool, stats) is owned by the
+// session, so concurrent Samplers over one Problem never interfere. A
+// single Sampler is not safe for concurrent use; the batch rows themselves
 // are processed in parallel internally according to Config.Device.
 type Sampler struct {
-	cfg     Config
-	formula *cnf.Formula
-	ext     *extract.Result
-	eng     *engine
+	cfg  Config
+	prob *Problem
 
 	vmat *tensor.Matrix // soft inputs V ∈ R^{batch×n}
 	mmat *tensor.Matrix // momentum accumulator (nil when Momentum == 0)
 
-	tile    int
 	scratch []stepScratch       // one per device worker
 	loss    []float64           // per-worker loss accumulators
 	stepFn  func(w, lo, hi int) // prebound stripe worker (keeps step at 0 allocs)
 
 	// Bit-parallel verification state: hardened inputs live in packed
 	// uint64 columns (bit r of cols[i][r/64] is row r's value for input
-	// i), verified 64 rows per word sweep by the bitblast program.
-	verify *bitblast.Program
+	// i), verified 64 rows per word sweep by the shared bitblast program
+	// through this session's Eval.
 	veval  *bitblast.Eval
 	colbuf []uint64   // backing store for cols
 	cols   [][]uint64 // one packed column per input
@@ -129,50 +130,49 @@ type Sampler struct {
 	stats  Stats
 }
 
-// New builds a sampler from a CNF and its transformation result.
+// New compiles (f, ext) into a Problem and builds a sampler session over
+// it. Callers creating several samplers for one instance should compile
+// the Problem once and use Problem.NewSampler instead.
 func New(f *cnf.Formula, ext *extract.Result, cfg Config) (*Sampler, error) {
-	if len(ext.Circuit.Inputs) == 0 {
-		return nil, errors.New("core: transformed circuit has no primary inputs")
+	p, err := Compile(f, ext)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(p, cfg)
+}
+
+// newSession allocates the per-session state over a shared Problem.
+func newSession(p *Problem, cfg Config) (*Sampler, error) {
+	if p == nil {
+		return nil, errors.New("core: nil problem")
 	}
 	cfg = cfg.withDefaults()
 	s := &Sampler{
-		cfg:     cfg,
-		formula: f,
-		ext:     ext,
-		eng:     compileEngine(ext.Circuit),
-		unique:  map[uint64][]int32{},
+		cfg:    cfg,
+		prob:   p,
+		unique: map[uint64][]int32{},
 	}
-	n := s.eng.numInputs
+	n := p.eng.numInputs
 	batch := cfg.BatchSize
 	s.vmat = tensor.NewMatrix(batch, n)
 	if cfg.Momentum != 0 {
 		s.mmat = tensor.NewMatrix(batch, n)
 	}
 
-	// Tile rows so one worker's full forward+backward working set
-	// (vals + adjoints) stays cache-resident regardless of batch size.
-	const tileTargetBytes = 512 << 10
-	s.tile = tileTargetBytes / (4 * (s.eng.numSlots + s.eng.numGregs))
-	if s.tile < 32 {
-		s.tile = 32
-	}
-	if s.tile > 512 {
-		s.tile = 512
-	}
 	workers := cfg.Device.Workers()
 	s.scratch = make([]stepScratch, workers)
 	for w := range s.scratch {
 		s.scratch[w] = stepScratch{
-			vals:  make([]float32, s.eng.numSlots*s.tile),
-			grads: make([]float32, s.eng.numGregs*s.tile),
+			vals:  make([]float32, p.eng.numSlots*p.tile),
+			grads: make([]float32, p.eng.numGregs*p.tile),
 		}
 	}
 	s.loss = make([]float64, workers)
 	s.stepFn = func(w, lo, hi int) {
 		sc := &s.scratch[w]
 		sum := 0.0
-		for tlo := lo; tlo < hi; tlo += s.tile {
-			nt := s.tile
+		for tlo := lo; tlo < hi; tlo += p.tile {
+			nt := p.tile
 			if tlo+nt > hi {
 				nt = hi - tlo
 			}
@@ -182,8 +182,7 @@ func New(f *cnf.Formula, ext *extract.Result, cfg Config) (*Sampler, error) {
 	}
 
 	words := (batch + 63) / 64
-	s.verify = ext.Verifier(f)
-	s.veval = s.verify.NewEval()
+	s.veval = p.verify.NewEval()
 	s.colbuf = make([]uint64, n*words)
 	s.cols = make([][]uint64, n)
 	for i := 0; i < n; i++ {
@@ -196,18 +195,21 @@ func New(f *cnf.Formula, ext *extract.Result, cfg Config) (*Sampler, error) {
 
 // NewFromCNF transforms f with extract.Transform and builds a sampler.
 func NewFromCNF(f *cnf.Formula, cfg Config) (*Sampler, error) {
-	ext, err := extract.Transform(f)
+	p, err := CompileCNF(f)
 	if err != nil {
 		return nil, err
 	}
-	return New(f, ext, cfg)
+	return newSession(p, cfg)
 }
 
+// Problem returns the shared compiled problem this session runs over.
+func (s *Sampler) Problem() *Problem { return s.prob }
+
 // Extraction returns the transformation result backing this sampler.
-func (s *Sampler) Extraction() *extract.Result { return s.ext }
+func (s *Sampler) Extraction() *extract.Result { return s.prob.ext }
 
 // NumInputs returns the primary-input count of the learned function.
-func (s *Sampler) NumInputs() int { return s.eng.numInputs }
+func (s *Sampler) NumInputs() int { return s.prob.eng.numInputs }
 
 // Stats returns a snapshot of accumulated statistics.
 func (s *Sampler) Stats() Stats { return s.stats }
@@ -215,24 +217,54 @@ func (s *Sampler) Stats() Stats { return s.stats }
 // EngineStats reports the compiled engine's shape.
 func (s *Sampler) EngineStats() EngineStats {
 	return EngineStats{
-		Inputs:   s.eng.numInputs,
-		Ops:      s.eng.OpCount(),
-		ValSlots: s.eng.numSlots,
-		GradRegs: s.eng.numGregs,
-		Outputs:  len(s.eng.outputs),
-		Tile:     s.tile,
+		Inputs:   s.prob.eng.numInputs,
+		Ops:      s.prob.eng.OpCount(),
+		ValSlots: s.prob.eng.numSlots,
+		GradRegs: s.prob.eng.numGregs,
+		Outputs:  len(s.prob.eng.outputs),
+		Tile:     s.prob.tile,
 		Workers:  len(s.scratch),
 	}
 }
 
 // Solutions returns the unique satisfying primary-input assignments found
-// so far, in discovery order. The slices are owned by the sampler.
-func (s *Sampler) Solutions() [][]bool { return s.sols }
+// so far, in discovery order. The rows are copies: callers may mutate or
+// retain them freely without corrupting the sampler's dedup pool.
+func (s *Sampler) Solutions() [][]bool { return s.SolutionsFrom(0) }
+
+// SolutionsFrom returns copies of the unique solutions discovered at index
+// from onward, in discovery order — the incremental form of Solutions used
+// by streaming drivers to drain only what a round added (from is typically
+// the previous UniqueCount).
+func (s *Sampler) SolutionsFrom(from int) [][]bool {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(s.sols) {
+		return nil
+	}
+	out := make([][]bool, len(s.sols)-from)
+	for i, sol := range s.sols[from:] {
+		out[i] = append([]bool(nil), sol...)
+	}
+	return out
+}
+
+// UniqueCount returns the number of unique solutions found so far.
+func (s *Sampler) UniqueCount() int { return len(s.sols) }
+
+// FullAssignmentAt expands the i-th unique solution into a freshly
+// allocated dense CNF assignment without first copying the primary-input
+// row — the allocation-lean accessor streaming drivers iterate with
+// (indices [0, UniqueCount())).
+func (s *Sampler) FullAssignmentAt(i int) []bool {
+	return s.prob.AssignmentFromInputs(s.sols[i])
+}
 
 // FullAssignment expands a primary-input solution into a dense CNF
 // assignment (assign[v-1] = value of CNF variable v).
 func (s *Sampler) FullAssignment(sol []bool) []bool {
-	return s.ext.AssignmentFromInputs(s.formula.NumVars, sol)
+	return s.prob.AssignmentFromInputs(sol)
 }
 
 // Round runs one batch round: initialize V, run Config.Iterations GD steps,
@@ -332,15 +364,15 @@ func (s *Sampler) step() {
 	for _, l := range s.loss {
 		total += l
 	}
-	s.stats.FinalLoss = total + s.eng.constLoss*float64(batch)
+	s.stats.FinalLoss = total + s.prob.eng.constLoss*float64(batch)
 	s.stats.Iterations++
 }
 
 // stepTile runs the fused pipeline for rows [r0, r0+nt) and returns their
 // summed output loss.
 func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
-	e := s.eng
-	tile := s.tile
+	e := s.prob.eng
+	tile := s.prob.tile
 	vals, grads := sc.vals, sc.grads
 	lr, mom := s.cfg.LearningRate, s.cfg.Momentum
 
@@ -401,7 +433,7 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 // It returns the number of new uniques.
 func (s *Sampler) collect() int {
 	batch := s.cfg.BatchSize
-	n := s.eng.numInputs
+	n := s.prob.eng.numInputs
 	words := (batch + 63) / 64
 
 	// Harden: bit r of cols[i] is V[r][i] > 0.
@@ -454,7 +486,7 @@ func (s *Sampler) packRow(r int) uint64 {
 	for i := range s.rowbuf {
 		s.rowbuf[i] = 0
 	}
-	n := s.eng.numInputs
+	n := s.prob.eng.numInputs
 	for i := 0; i < n; i++ {
 		s.rowbuf[i>>6] |= (s.cols[i][w] >> b & 1) << (uint(i) & 63)
 	}
@@ -486,43 +518,22 @@ func sigmoid32(v float32) float32 {
 }
 
 // MemoryEstimate returns the resident bytes the sampler's state occupies
-// for a hypothetical batch size (the Fig. 3 right memory model). The
-// engine's tiled value/adjoint scratch is a fixed cost per device worker —
-// batch rows stream through it — so scaling the batch only grows the
-// linear terms: the soft-input matrix V (plus momentum when enabled), the
-// packed hardened columns, and the per-word validity masks.
+// for a hypothetical batch size (the Fig. 3 right memory model), applying
+// the problem's affine model to this session's worker count and momentum
+// setting.
 func (s *Sampler) MemoryEstimate(batch int) int64 {
-	n := int64(s.eng.numInputs)
-	b := int64(batch)
-	fixed := int64(len(s.scratch)) * int64(s.tile) * int64(s.eng.numSlots+s.eng.numGregs) * 4
-	linear := 4 * b * n // V
-	if s.mmat != nil {
-		linear += 4 * b * n // momentum
-	}
-	linear += b * n / 8 // packed hardened columns
-	linear += b / 8     // validity masks
-	return fixed + linear
+	return s.prob.MemoryEstimate(len(s.scratch), batch, s.mmat != nil)
 }
 
 // BatchForBudget returns the largest batch size whose MemoryEstimate fits
-// the given byte budget (at least 1): the fixed engine scratch is paid
-// first and the remainder is divided by the per-row cost.
+// the given byte budget (at least 1).
 func (s *Sampler) BatchForBudget(budget int64) int {
-	fixed := s.MemoryEstimate(0)
-	perRow := s.MemoryEstimate(1024) - fixed
-	if perRow <= 0 {
-		return 1
-	}
-	b := (budget - fixed) * 1024 / perRow
-	if b < 1 {
-		return 1
-	}
-	return int(b)
+	return s.prob.BatchForBudget(len(s.scratch), s.mmat != nil, budget)
 }
 
 // String describes the sampler configuration.
 func (s *Sampler) String() string {
 	return fmt.Sprintf("core.Sampler{inputs=%d slots=%d gregs=%d ops=%d batch=%d iters=%d lr=%g tile=%d device=%s}",
-		s.NumInputs(), s.eng.numSlots, s.eng.numGregs, s.eng.OpCount(), s.cfg.BatchSize,
-		s.cfg.Iterations, s.cfg.LearningRate, s.tile, s.cfg.Device.Name())
+		s.NumInputs(), s.prob.eng.numSlots, s.prob.eng.numGregs, s.prob.eng.OpCount(), s.cfg.BatchSize,
+		s.cfg.Iterations, s.cfg.LearningRate, s.prob.tile, s.cfg.Device.Name())
 }

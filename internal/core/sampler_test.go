@@ -457,3 +457,84 @@ func TestMomentumResetBetweenRounds(t *testing.T) {
 		t.Fatal("round accounting broken with momentum")
 	}
 }
+
+func TestSolutionsReturnsCopies(t *testing.T) {
+	// Mutating rows returned by Solutions must not corrupt the dedup pool:
+	// the sampler owns its pool, callers own what they are handed.
+	f := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	s := newSampler(t, f, Config{BatchSize: 32, Seed: 4})
+	s.SampleUntil(10, 0)
+	first := s.Solutions()
+	for _, row := range first {
+		for i := range row {
+			row[i] = !row[i]
+		}
+	}
+	second := s.Solutions()
+	seen := map[string]bool{}
+	for _, row := range second {
+		if !f.Sat(s.FullAssignment(row)) {
+			t.Fatal("pool row invalid after caller mutation")
+		}
+		key := fmtBits(row)
+		if seen[key] {
+			t.Fatal("pool rows no longer distinct after caller mutation")
+		}
+		seen[key] = true
+	}
+}
+
+func TestSolutionsFromIncremental(t *testing.T) {
+	f := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	s := newSampler(t, f, Config{BatchSize: 32, Seed: 4})
+	s.SampleUntil(10, 0)
+	n := s.UniqueCount()
+	if n != 3 {
+		t.Fatalf("unique = %d want 3", n)
+	}
+	all := s.Solutions()
+	tail := s.SolutionsFrom(1)
+	if len(tail) != n-1 {
+		t.Fatalf("SolutionsFrom(1) = %d rows want %d", len(tail), n-1)
+	}
+	for i, row := range tail {
+		if fmtBits(row) != fmtBits(all[i+1]) {
+			t.Fatalf("SolutionsFrom misaligned at %d", i)
+		}
+	}
+	if got := s.SolutionsFrom(n); got != nil {
+		t.Errorf("SolutionsFrom(end) = %v want nil", got)
+	}
+}
+
+func TestProblemSharedAcrossSamplers(t *testing.T) {
+	// Two samplers over one compiled Problem are independent sessions:
+	// same seed, same stream; the shared artifact is never mutated.
+	f := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	p, err := CompileCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.NewSampler(Config{BatchSize: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewSampler(Config{BatchSize: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SampleUntil(10, 0)
+	b.SampleUntil(10, 0)
+	as, bs := a.Solutions(), b.Solutions()
+	if len(as) != len(bs) {
+		t.Fatalf("sessions diverged: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if fmtBits(as[i]) != fmtBits(bs[i]) {
+			t.Fatalf("row %d differs between sessions over one problem", i)
+		}
+	}
+	if a.Problem() != b.Problem() {
+		t.Error("sessions do not report the shared problem")
+	}
+}

@@ -1,12 +1,20 @@
 // Package harness drives the paper's experiments end to end: it wires the
-// benchmark generator, the transformation, the core gradient-descent
-// sampler and the three baselines together and renders the rows/series the
-// paper reports — Table II (throughput), Fig. 2 (latency vs unique
+// benchmark generator, the sampling service layer (compile cache, sessions,
+// baseline wrappers) and the renderers together and produces the rows/series
+// the paper reports — Table II (throughput), Fig. 2 (latency vs unique
 // solutions), Fig. 3 (learning dynamics and memory) and Fig. 4 (device
 // ablation, ops reduction, transformation time).
+//
+// Every sampler — the core GD session and the three baselines — is driven
+// through the unified sampling.Sampler interface, and every experiment
+// shares one sampling.Compiler, so an instance is transformed and compiled
+// exactly once no matter how many samplers, devices or thresholds touch it.
+// The Run functions honour context cancellation between sampling runs and
+// return whatever rows completed.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +22,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/cnf"
 	"repro/internal/core"
-	"repro/internal/extract"
+	"repro/internal/sampling"
 	"repro/internal/tensor"
 )
 
@@ -34,6 +42,10 @@ type RunOptions struct {
 	MemoryBudget int64
 	// Seed for all randomized components.
 	Seed int64
+	// Compiler is the shared compile cache. Nil selects a fresh default
+	// cache, scoped to the Run call; pass one explicitly to share compiled
+	// problems across experiments.
+	Compiler *sampling.Compiler
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -52,98 +64,57 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Compiler == nil {
+		o.Compiler = sampling.NewCompiler(0)
+	}
 	return o
 }
 
-// CoreSampler adapts core.Sampler to the baselines.Sampler interface so all
-// four samplers can be driven uniformly. Solutions are expanded to full CNF
-// assignments for apples-to-apples uniqueness accounting.
-type CoreSampler struct {
-	s       *core.Sampler
-	lastRes baselines.Stats
+// sessionConfig maps run options onto a session configuration.
+func (o RunOptions) sessionConfig() sampling.SessionConfig {
+	return sampling.SessionConfig{
+		Device:       o.Device,
+		Seed:         o.Seed,
+		MemoryBudget: o.MemoryBudget,
+	}
 }
 
-// NewCoreSampler transforms f and builds the adapter. The batch size adapts
-// to the instance size under the memory budget.
-func NewCoreSampler(f *cnf.Formula, opt RunOptions) (*CoreSampler, error) {
+// NewCoreSession compiles f through opt.Compiler and opens one sampling
+// session over the shared problem: the core sampler behind the unified
+// sampling.Sampler interface. The batch size adapts to the instance size
+// under the memory budget.
+func NewCoreSession(f *cnf.Formula, opt RunOptions) (*sampling.Session, error) {
 	opt = opt.withDefaults()
-	ext, err := extract.Transform(f)
+	p, err := opt.Compiler.Compile(f)
 	if err != nil {
 		return nil, err
 	}
-	return NewCoreSamplerFromExtract(f, ext, opt)
+	return p.NewSession(opt.sessionConfig())
 }
 
-// NewCoreSamplerFromExtract builds the adapter over a prior transformation
-// (lets callers account transformation time separately).
-func NewCoreSamplerFromExtract(f *cnf.Formula, ext *extract.Result, opt RunOptions) (*CoreSampler, error) {
-	opt = opt.withDefaults()
-	probe, err := core.New(f, ext, core.Config{BatchSize: 1, Device: opt.Device, Seed: opt.Seed})
-	if err != nil {
-		return nil, err
+// buildBaselines constructs the three comparison samplers for an instance,
+// wrapped onto the unified streaming interface. The UniGen-style sampler
+// receives the instance's input variables as its sampling set, matching
+// the independent-support annotations the real tool consumes on the Meel
+// benchmark suite.
+func buildBaselines(in *benchgen.Instance, opt RunOptions) []sampling.Sampler {
+	return []sampling.Sampler{
+		sampling.Wrap(baselines.NewUniGenLike(in.Formula, opt.Seed).WithSamplingSet(in.Enc.InputVar)),
+		sampling.Wrap(baselines.NewCMSGenLike(in.Formula, opt.Seed)),
+		sampling.Wrap(baselines.NewDiffSampler(in.Formula, opt.Seed, opt.Device)),
 	}
-	// The engine's tiled scratch is a fixed cost, so batch sizing solves
-	// fixed + perRow·batch <= budget rather than dividing by a per-row
-	// estimate (which would charge every row for the scratch).
-	batch := probe.BatchForBudget(opt.MemoryBudget)
-	if batch < 64 {
-		batch = 64
-	}
-	// Cap the batch: beyond ~8k rows per round the extra throughput is
-	// marginal on CPU but the first-round latency (what Fig. 2 plots at
-	// small solution counts) grows linearly.
-	if batch > 8192 {
-		batch = 8192
-	}
-	s, err := core.New(f, ext, core.Config{
-		BatchSize: batch,
-		Device:    opt.Device,
-		Seed:      opt.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &CoreSampler{s: s}, nil
 }
 
-// Name implements baselines.Sampler.
-func (c *CoreSampler) Name() string { return "this-work" }
-
-// Inner returns the wrapped core sampler.
-func (c *CoreSampler) Inner() *core.Sampler { return c.s }
-
-// Sample implements baselines.Sampler.
-func (c *CoreSampler) Sample(target int, timeout time.Duration) baselines.Stats {
-	st := c.s.SampleUntil(target, timeout)
-	c.lastRes = baselines.Stats{
-		Unique:  st.Unique,
-		Calls:   st.Rounds,
-		Elapsed: st.Elapsed,
-		Timeout: st.Unique < target,
+// sampleOnce drives s toward target under both the run timeout and the
+// caller's context.
+func sampleOnce(ctx context.Context, s sampling.Sampler, target int, timeout time.Duration) sampling.Stats {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	return c.lastRes
-}
-
-// Solutions implements baselines.Sampler.
-func (c *CoreSampler) Solutions() [][]bool {
-	sols := c.s.Solutions()
-	out := make([][]bool, len(sols))
-	for i, sol := range sols {
-		out[i] = c.s.FullAssignment(sol)
-	}
-	return out
-}
-
-// buildBaselines constructs the three comparison samplers for an instance.
-// The UniGen-style sampler receives the instance's input variables as its
-// sampling set, matching the independent-support annotations the real tool
-// consumes on the Meel benchmark suite.
-func buildBaselines(in *benchgen.Instance, opt RunOptions) []baselines.Sampler {
-	return []baselines.Sampler{
-		baselines.NewUniGenLike(in.Formula, opt.Seed).WithSamplingSet(in.Enc.InputVar),
-		baselines.NewCMSGenLike(in.Formula, opt.Seed),
-		baselines.NewDiffSampler(in.Formula, opt.Seed, opt.Device),
-	}
+	st, _ := s.Stream(ctx, target, nil)
+	return st
 }
 
 // Table2Row is one row of the Table II reproduction.
@@ -158,17 +129,21 @@ type Table2Row struct {
 	Speedup    float64 // this-work vs best baseline
 }
 
-// RunTable2 reproduces Table II on the given instances.
-func RunTable2(instances []*benchgen.Instance, opt RunOptions) []Table2Row {
+// RunTable2 reproduces Table II on the given instances. Cancelling ctx
+// stops after the in-flight sampler and returns the completed rows.
+func RunTable2(ctx context.Context, instances []*benchgen.Instance, opt RunOptions) []Table2Row {
 	opt = opt.withDefaults()
 	rows := make([]Table2Row, 0, len(instances))
 	for _, in := range instances {
-		rows = append(rows, runTable2Instance(in, opt))
+		if ctx.Err() != nil {
+			break
+		}
+		rows = append(rows, runTable2Instance(ctx, in, opt))
 	}
 	return rows
 }
 
-func runTable2Instance(in *benchgen.Instance, opt RunOptions) Table2Row {
+func runTable2Instance(ctx context.Context, in *benchgen.Instance, opt RunOptions) Table2Row {
 	pi, po, vars, clauses := in.Stats()
 	row := Table2Row{
 		Instance:   in.Name,
@@ -180,19 +155,22 @@ func runTable2Instance(in *benchgen.Instance, opt RunOptions) Table2Row {
 		Unique:     map[string]int{},
 		TimedOut:   map[string]bool{},
 	}
-	run := func(s baselines.Sampler) {
-		st := s.Sample(opt.Target, opt.Timeout)
+	run := func(s sampling.Sampler) {
+		st := sampleOnce(ctx, s, opt.Target, opt.Timeout)
 		row.Throughput[s.Name()] = st.Throughput()
 		row.Unique[s.Name()] = st.Unique
 		row.TimedOut[s.Name()] = st.Timeout && st.Unique < opt.Target
 	}
-	ours, err := NewCoreSampler(in.Formula, opt)
+	ours, err := NewCoreSession(in.Formula, opt)
 	if err == nil {
 		run(ours)
 	} else {
 		row.TimedOut["this-work"] = true
 	}
 	for _, b := range buildBaselines(in, opt) {
+		if ctx.Err() != nil {
+			break
+		}
 		run(b)
 	}
 	best := 0.0
@@ -219,20 +197,26 @@ type Fig2Point struct {
 // RunFig2 sweeps solution-count thresholds per sampler per instance,
 // reusing each sampler's accumulated pool so latency is cumulative, exactly
 // like the paper's runtime-versus-count scatter.
-func RunFig2(instances []*benchgen.Instance, thresholds []int, opt RunOptions) []Fig2Point {
+func RunFig2(ctx context.Context, instances []*benchgen.Instance, thresholds []int, opt RunOptions) []Fig2Point {
 	opt = opt.withDefaults()
 	if len(thresholds) == 0 {
 		thresholds = []int{10, 100, 1000}
 	}
 	var pts []Fig2Point
 	for _, in := range instances {
+		if ctx.Err() != nil {
+			break
+		}
 		samplers := buildBaselines(in, opt)
-		if ours, err := NewCoreSampler(in.Formula, opt); err == nil {
-			samplers = append([]baselines.Sampler{ours}, samplers...)
+		if ours, err := NewCoreSession(in.Formula, opt); err == nil {
+			samplers = append([]sampling.Sampler{ours}, samplers...)
 		}
 		for _, s := range samplers {
 			for _, th := range thresholds {
-				st := s.Sample(th, opt.Timeout)
+				if ctx.Err() != nil {
+					break
+				}
+				st := sampleOnce(ctx, s, th, opt.Timeout)
 				pts = append(pts, Fig2Point{
 					Sampler:   s.Name(),
 					Instance:  in.Name,
@@ -260,7 +244,7 @@ type Fig3Result struct {
 }
 
 // RunFig3 reproduces Fig. 3 on the given instances.
-func RunFig3(instances []*benchgen.Instance, iterations int, batches []int, opt RunOptions) []Fig3Result {
+func RunFig3(ctx context.Context, instances []*benchgen.Instance, iterations int, batches []int, opt RunOptions) []Fig3Result {
 	opt = opt.withDefaults()
 	if iterations <= 0 {
 		iterations = 10
@@ -270,12 +254,15 @@ func RunFig3(instances []*benchgen.Instance, iterations int, batches []int, opt 
 	}
 	var out []Fig3Result
 	for _, in := range instances {
+		if ctx.Err() != nil {
+			break
+		}
 		res := Fig3Result{Instance: in.Name, MemoryMB: map[int]float64{}}
-		ext, err := extract.Transform(in.Formula)
+		p, err := opt.Compiler.Compile(in.Formula)
 		if err != nil {
 			continue
 		}
-		tracer, err := core.New(in.Formula, ext, core.Config{
+		tracer, err := p.Core().NewSampler(core.Config{
 			BatchSize:  2048,
 			Iterations: iterations,
 			Device:     opt.Device,
@@ -306,15 +293,21 @@ type Fig4Row struct {
 	TransformTime time.Duration
 }
 
-// RunFig4 reproduces Fig. 4 on the given instances.
-func RunFig4(instances []*benchgen.Instance, opt RunOptions) []Fig4Row {
+// RunFig4 reproduces Fig. 4 on the given instances. Both device
+// measurements run as sessions over the same compiled problem, so the
+// ablation isolates execution cost from compilation.
+func RunFig4(ctx context.Context, instances []*benchgen.Instance, opt RunOptions) []Fig4Row {
 	opt = opt.withDefaults()
 	var rows []Fig4Row
 	for _, in := range instances {
-		ext, err := extract.Transform(in.Formula)
+		if ctx.Err() != nil {
+			break
+		}
+		p, err := opt.Compiler.Compile(in.Formula)
 		if err != nil {
 			continue
 		}
+		ext := p.Extraction()
 		row := Fig4Row{
 			Instance:      in.Name,
 			OpsCNF:        in.Formula.OpCount2(),
@@ -325,13 +318,13 @@ func RunFig4(instances []*benchgen.Instance, opt RunOptions) []Fig4Row {
 			row.OpsReduction = float64(row.OpsCNF) / float64(row.OpsCircuit)
 		}
 		measure := func(dev tensor.Device) float64 {
-			o := opt
-			o.Device = dev
-			s, err := NewCoreSamplerFromExtract(in.Formula, ext, o)
+			cfg := opt.sessionConfig()
+			cfg.Device = dev
+			s, err := p.NewSession(cfg)
 			if err != nil {
 				return 0
 			}
-			st := s.Sample(opt.Target, opt.Timeout)
+			st := sampleOnce(ctx, s, opt.Target, opt.Timeout)
 			return st.Throughput()
 		}
 		row.SeqThroughput = measure(tensor.Sequential())

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -19,16 +20,16 @@ func fastOpts() RunOptions {
 	}
 }
 
-func TestCoreSamplerAdapter(t *testing.T) {
+func TestCoreSessionAdapter(t *testing.T) {
 	in := benchgen.SmallSuite()[0]
-	s, err := NewCoreSampler(in.Formula, fastOpts())
+	s, err := NewCoreSession(in.Formula, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Name() != "this-work" {
 		t.Errorf("name = %q", s.Name())
 	}
-	st := s.Sample(10, 3*time.Second)
+	st := s.SampleUntil(10, 3*time.Second)
 	if st.Unique == 0 {
 		t.Fatal("adapter found no solutions")
 	}
@@ -40,7 +41,7 @@ func TestCoreSamplerAdapter(t *testing.T) {
 }
 
 func TestRunTable2SmallSuite(t *testing.T) {
-	rows := RunTable2(benchgen.SmallSuite(), fastOpts())
+	rows := RunTable2(context.Background(), benchgen.SmallSuite(), fastOpts())
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d want 4", len(rows))
 	}
@@ -64,7 +65,7 @@ func TestRunTable2CoreWins(t *testing.T) {
 	opts.Target = 1000
 	opts.Timeout = 5 * time.Second
 	opts.Device = tensor.Parallel()
-	rows := RunTable2([]*benchgen.Instance{in}, opts)
+	rows := RunTable2(context.Background(), []*benchgen.Instance{in}, opts)
 	if len(rows) != 1 {
 		t.Fatal("missing row")
 	}
@@ -75,7 +76,7 @@ func TestRunTable2CoreWins(t *testing.T) {
 }
 
 func TestRunFig2ProducesMonotonePoints(t *testing.T) {
-	pts := RunFig2(benchgen.SmallSuite()[:2], []int{5, 15}, fastOpts())
+	pts := RunFig2(context.Background(), benchgen.SmallSuite()[:2], []int{5, 15}, fastOpts())
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}
@@ -94,7 +95,7 @@ func TestRunFig2ProducesMonotonePoints(t *testing.T) {
 }
 
 func TestRunFig3CurvesAndMemory(t *testing.T) {
-	res := RunFig3(benchgen.SmallSuite()[:2], 6, []int{100, 1000}, fastOpts())
+	res := RunFig3(context.Background(), benchgen.SmallSuite()[:2], 6, []int{100, 1000}, fastOpts())
 	if len(res) != 2 {
 		t.Fatalf("results = %d want 2", len(res))
 	}
@@ -114,7 +115,7 @@ func TestRunFig3CurvesAndMemory(t *testing.T) {
 }
 
 func TestRunFig4Ablation(t *testing.T) {
-	rows := RunFig4(benchgen.SmallSuite()[2:3], fastOpts())
+	rows := RunFig4(context.Background(), benchgen.SmallSuite()[2:3], fastOpts())
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -132,7 +133,7 @@ func TestRunFig4Ablation(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	opts := fastOpts()
-	rows := RunTable2(benchgen.SmallSuite()[:1], opts)
+	rows := RunTable2(context.Background(), benchgen.SmallSuite()[:1], opts)
 	var b strings.Builder
 	RenderTable2(&b, rows)
 	if !strings.Contains(b.String(), rows[0].Instance) {
@@ -189,19 +190,19 @@ func TestMemoryBudgetAdaptsBatch(t *testing.T) {
 	in := benchgen.SmallSuite()[0]
 	opts := fastOpts()
 	opts.MemoryBudget = 1 << 20 // 1 MiB: small batch
-	s, err := NewCoreSampler(in.Formula, opts)
+	s, err := NewCoreSession(in.Formula, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := s.Sample(5, 2*time.Second)
+	st := s.SampleUntil(5, 2*time.Second)
 	if st.Unique == 0 {
 		t.Error("budgeted sampler found nothing")
 	}
 }
 
-func TestCoreSamplerErrorPath(t *testing.T) {
+func TestCoreSessionErrorPath(t *testing.T) {
 	empty := cnf.New(0)
-	if _, err := NewCoreSampler(empty, fastOpts()); err == nil {
+	if _, err := NewCoreSession(empty, fastOpts()); err == nil {
 		t.Error("expected error for empty formula")
 	}
 }

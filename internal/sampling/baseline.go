@@ -1,0 +1,153 @@
+package sampling
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/baselines"
+)
+
+// DefaultSlice is the sampling quantum Wrap uses between cancellation
+// checks. Baseline samplers only honour a wall-clock timeout inside one
+// blocking Sample call, so the wrapper drives them in slices: long enough
+// that their internal galloping/staleness heuristics still work, short
+// enough that cancellation and streaming stay responsive.
+const DefaultSlice = 200 * time.Millisecond
+
+// Wrap lifts a baselines.Sampler onto the unified streaming interface.
+// The baseline accumulates solutions across Sample calls, so the wrapper
+// repeatedly samples one time slice, streams whatever the slice added,
+// and checks the context between slices — giving the legacy blocking
+// samplers context cancellation and incremental delivery without touching
+// their solver loops.
+func Wrap(b baselines.Sampler) Sampler { return &wrapped{b: b, slice: DefaultSlice} }
+
+// WrapSlice is Wrap with an explicit slice duration (slice <= 0 selects
+// DefaultSlice).
+func WrapSlice(b baselines.Sampler, slice time.Duration) Sampler {
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	return &wrapped{b: b, slice: slice}
+}
+
+type wrapped struct {
+	b         baselines.Sampler
+	slice     time.Duration
+	delivered int
+	stats     Stats
+}
+
+// Name implements Sampler.
+func (w *wrapped) Name() string { return w.b.Name() }
+
+// Stats returns the wrapper's accumulated unified stats.
+func (w *wrapped) Stats() Stats { return w.stats }
+
+// Solutions implements Sampler. Rows are copies: the baselines' pools
+// return live internal slices, so the wrapper re-copies before exposure.
+func (w *wrapped) Solutions() [][]bool {
+	sols := w.b.Solutions()
+	out := make([][]bool, len(sols))
+	for i, sol := range sols {
+		out[i] = append([]bool(nil), sol...)
+	}
+	return out
+}
+
+// maxSlice caps the zero-gain backoff; maxStaleSlices bounds how many
+// consecutive zero-gain slices run before the wrapper declares the
+// sampler done (the cross-slice analogue of the baselines' own stale
+// counters, which live inside one Sample call and reset every slice).
+const (
+	maxSlice       = 5 * time.Second
+	maxStaleSlices = 10
+)
+
+// Stream implements Sampler.
+func (w *wrapped) Stream(ctx context.Context, target int, sink Sink) (Stats, error) {
+	// Timeout/Exhausted describe how *this* call ended, not a prior one.
+	w.stats.Timeout, w.stats.Exhausted = false, false
+	if err := w.flush(sink); err != nil {
+		// Classify before reading w.stats: the classifier may set Timeout.
+		serr := w.sinkErr(err)
+		return w.stats, serr
+	}
+	slice := w.slice
+	staleSlices := 0
+	for target <= 0 || w.stats.Unique < target {
+		if ctx.Err() != nil {
+			w.stats.Timeout = true
+			break
+		}
+		cur := slice
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < cur {
+				cur = rem
+			}
+			if cur <= 0 {
+				w.stats.Timeout = true
+				break
+			}
+		}
+		prevUnique, prevCalls := w.stats.Unique, w.stats.Calls
+		st := w.b.Sample(target, cur)
+		w.stats.Unique = st.Unique
+		w.stats.Calls = st.Calls
+		w.stats.Elapsed = st.Elapsed
+		w.stats.Exhausted = st.Exhausted
+		if err := w.flush(sink); err != nil {
+			serr := w.sinkErr(err)
+			return w.stats, serr
+		}
+		if st.Exhausted {
+			break
+		}
+		if st.Unique == prevUnique && st.Calls == prevCalls {
+			// The slice did no work at all (e.g. an Unknown verdict): the
+			// sampler has given up without flagging exhaustion; more slices
+			// cannot help.
+			break
+		}
+		if st.Unique == prevUnique {
+			// Zero gain: grow the slice so the baseline's internal
+			// staleness/exhaustion heuristics — local to one Sample call —
+			// get a window long enough to trigger, and give up after a
+			// bounded streak so an exhausted instance terminates even
+			// without a deadline.
+			staleSlices++
+			if staleSlices >= maxStaleSlices {
+				w.stats.Exhausted = st.Unique > 0
+				break
+			}
+			if slice < maxSlice {
+				slice *= 2
+				if slice > maxSlice {
+					slice = maxSlice
+				}
+			}
+		} else {
+			staleSlices = 0
+			slice = w.slice
+		}
+	}
+	return w.stats, nil
+}
+
+// flush streams solutions the baseline's pool gained since the last flush.
+func (w *wrapped) flush(sink Sink) error {
+	if sink == nil {
+		return nil
+	}
+	sols := w.b.Solutions()
+	for ; w.delivered < len(sols); w.delivered++ {
+		if err := sink(append([]bool(nil), sols[w.delivered]...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *wrapped) sinkErr(err error) error {
+	return classifySinkErr(err, &w.stats.Timeout)
+}

@@ -1,0 +1,163 @@
+package sampling
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/extract"
+)
+
+// HashFormula returns the content hash of a CNF — the cache key under
+// which its compiled Problem is stored. The hash covers the variable count
+// and the exact clause/literal sequence (Algorithm 1 is order-sensitive,
+// so two formulas that differ only in clause order are genuinely different
+// compilation inputs).
+func HashFormula(f *cnf.Formula) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	writeInt(int64(f.NumVars))
+	writeInt(int64(len(f.Clauses)))
+	for _, c := range f.Clauses {
+		writeInt(int64(len(c)))
+		for _, l := range c {
+			writeInt(int64(l))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CompilerStats snapshots the cache counters.
+type CompilerStats struct {
+	Hits      int64 // Compile calls served from cache (or an in-flight compile)
+	Misses    int64 // Compile calls that ran extract.Transform + core.Compile
+	Evictions int64 // entries dropped by the LRU policy
+	Entries   int   // problems currently cached (including in-flight)
+}
+
+// DefaultCacheCapacity is the Compiler's LRU capacity when none is given.
+const DefaultCacheCapacity = 64
+
+// Compiler produces shared, immutable Problems behind a content-hash-keyed
+// LRU cache. Concurrent Compile calls for the same CNF are deduplicated:
+// one goroutine runs the transformation while the rest wait for the same
+// artifact (single flight), so a traffic burst on a new instance costs one
+// compile, not one per request. Compiler is safe for concurrent use.
+type Compiler struct {
+	mu        sync.Mutex
+	capacity  int
+	lru       *list.List // MRU at front; element values are *cacheEntry
+	byKey     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one cached (possibly in-flight) compilation. ready is
+// closed when prob/err are final; waiters hold the entry pointer, so LRU
+// eviction of an in-flight entry never strands them.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	prob  *Problem
+	err   error
+}
+
+// NewCompiler returns a Compiler whose cache holds up to capacity compiled
+// problems (capacity <= 0 selects DefaultCacheCapacity).
+func NewCompiler(capacity int) *Compiler {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Compiler{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    map[string]*list.Element{},
+	}
+}
+
+// Compile returns the shared Problem for f, compiling it at most once per
+// cache residency. The returned Problem is immutable and safe to share
+// across concurrent sessions.
+func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
+	key := HashFormula(f)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.prob, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.lru.PushFront(e)
+	c.byKey[key] = el
+	c.misses++
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		if back == el {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	prob, err := compileProblem(f, key)
+
+	c.mu.Lock()
+	e.prob, e.err = prob, err
+	if err != nil {
+		// Failed compiles are not cached: drop the entry (if the LRU still
+		// holds it) so a later Compile can retry.
+		if cur, ok := c.byKey[key]; ok && cur == el {
+			c.lru.Remove(cur)
+			delete(c.byKey, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return prob, err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Compiler) Stats() CompilerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CompilerStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+	}
+}
+
+// compileProblem runs the uncached pipeline: extract.Transform then the
+// engine/verifier compile.
+func compileProblem(f *cnf.Formula, key string) (*Problem, error) {
+	ext, err := extract.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := core.Compile(f, ext)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{key: key, formula: f, core: cp}, nil
+}
+
+// CompileProblem compiles f without a cache — the one-shot path for
+// callers that don't need sharing.
+func CompileProblem(f *cnf.Formula) (*Problem, error) {
+	return compileProblem(f, HashFormula(f))
+}

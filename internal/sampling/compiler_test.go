@@ -1,0 +1,212 @@
+package sampling
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/cnf"
+)
+
+func smallFormula() *cnf.Formula { return benchgen.SmallSuite()[0].Formula }
+
+func TestHashFormulaContentKeyed(t *testing.T) {
+	a := cnf.New(3)
+	a.AddClause(1, 2)
+	a.AddClause(-1, 3)
+
+	b := cnf.New(3)
+	b.AddClause(1, 2)
+	b.AddClause(-1, 3)
+	if HashFormula(a) != HashFormula(b) {
+		t.Error("identical formulas hash differently")
+	}
+
+	// Clause order matters: Algorithm 1 is order-sensitive, so reordered
+	// clauses are a different compilation input.
+	c := cnf.New(3)
+	c.AddClause(-1, 3)
+	c.AddClause(1, 2)
+	if HashFormula(a) == HashFormula(c) {
+		t.Error("clause order ignored by hash")
+	}
+
+	d := cnf.New(3)
+	d.AddClause(1, 2)
+	d.AddClause(-1, -3)
+	if HashFormula(a) == HashFormula(d) {
+		t.Error("literal polarity ignored by hash")
+	}
+
+	// Variable count alone must distinguish (trailing unconstrained vars).
+	e := cnf.New(4)
+	e.AddClause(1, 2)
+	e.AddClause(-1, 3)
+	if HashFormula(a) == HashFormula(e) {
+		t.Error("NumVars ignored by hash")
+	}
+}
+
+// TestCompileCacheSharesProblem is the PR's acceptance check: two sessions
+// created from the same Compiler for the same CNF share one compiled
+// program — the second Compile is a cache hit (no second extract.Transform)
+// and both sessions point at the identical extraction result.
+func TestCompileCacheSharesProblem(t *testing.T) {
+	f := smallFormula()
+	c := NewCompiler(4)
+
+	p1, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same CNF compiled to two distinct problems")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("cache counters: hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+
+	s1, err := p1.NewSession(SessionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p2.NewSession(SessionConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Problem().Extraction() != s2.Problem().Extraction() {
+		t.Error("sessions do not share the extraction result")
+	}
+	if s1.Core().Problem() != s2.Core().Problem() {
+		t.Error("sessions do not share the compiled core problem")
+	}
+
+	// A content-equal but distinct formula object is still a hit.
+	clone := cnf.New(f.NumVars)
+	for _, cl := range f.Clauses {
+		clone.AddClause(cl...)
+	}
+	p3, err := c.Compile(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Error("content-equal formula missed the cache")
+	}
+}
+
+func TestCompilerLRUEviction(t *testing.T) {
+	ins := benchgen.SmallSuite()
+	if len(ins) < 3 {
+		t.Skip("need 3 instances")
+	}
+	c := NewCompiler(2)
+	p0, err := c.Compile(ins[0].Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ins[1].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ins[2].Formula); err != nil { // evicts ins[0]
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 1/2", st.Evictions, st.Entries)
+	}
+	p0b, err := c.Compile(ins[0].Formula) // recompiled: a miss, new artifact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0b == p0 {
+		t.Error("evicted problem returned from cache")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 0/4", st.Hits, st.Misses)
+	}
+}
+
+func TestCompilerLRURecencyOrder(t *testing.T) {
+	ins := benchgen.SmallSuite()
+	c := NewCompiler(2)
+	p0, _ := c.Compile(ins[0].Formula)
+	if _, err := c.Compile(ins[1].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ins[0].Formula); err != nil { // touch 0: now MRU
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ins[2].Formula); err != nil { // must evict 1, not 0
+		t.Fatal(err)
+	}
+	p0b, err := c.Compile(ins[0].Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0b != p0 {
+		t.Error("recently-used problem was evicted")
+	}
+}
+
+// TestCompilerSingleFlight races N goroutines onto one cold key: exactly
+// one transformation may run, and every caller must receive the same
+// shared artifact. Run under -race in CI.
+func TestCompilerSingleFlight(t *testing.T) {
+	f := smallFormula()
+	c := NewCompiler(4)
+	const n = 16
+	probs := make([]*Problem, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Compile(f)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			probs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if probs[i] != probs[0] {
+			t.Fatalf("goroutine %d got a different problem", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single flight)", st.Misses)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, n-1)
+	}
+}
+
+func TestCompilerErrorNotCached(t *testing.T) {
+	// A formula whose extracted circuit has no primary inputs fails
+	// core.Compile; the failure must not be cached.
+	f := cnf.New(1)
+	f.AddClause(1) // unit clause: var 1 becomes a primary output, no inputs
+	c := NewCompiler(4)
+	if _, err := c.Compile(f); err == nil {
+		t.Skip("instance unexpectedly compiled; pick a different error input")
+	}
+	if _, err := c.Compile(f); err == nil {
+		t.Error("second compile of error input succeeded unexpectedly")
+	}
+	st := c.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (errors not cached)", st.Misses)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d, want 0", st.Entries)
+	}
+}

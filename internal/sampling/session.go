@@ -1,0 +1,256 @@
+package sampling
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/tensor"
+)
+
+// Problem is the immutable, shareable compiled form of one CNF: the
+// formula, its extraction result, and the core compiled artifact (fused
+// engine + bitblast verifier). Any number of Sessions may run over one
+// Problem concurrently with zero recompilation.
+type Problem struct {
+	key     string
+	formula *cnf.Formula
+	core    *core.Problem
+}
+
+// Key returns the content hash this problem is cached under.
+func (p *Problem) Key() string { return p.key }
+
+// Formula returns the CNF this problem was compiled from.
+func (p *Problem) Formula() *cnf.Formula { return p.formula }
+
+// Extraction returns the transformation result backing this problem.
+func (p *Problem) Extraction() *extract.Result { return p.core.Extraction() }
+
+// Core returns the compiled core artifact (engine + verifier).
+func (p *Problem) Core() *core.Problem { return p.core }
+
+// NumInputs returns the primary-input count of the learned function.
+func (p *Problem) NumInputs() int { return p.core.NumInputs() }
+
+// SessionConfig configures one sampling session. The GD fields mirror
+// core.Config (zero values take the same defaults); the service-level
+// fields control batch sizing and reporting.
+type SessionConfig struct {
+	// Name labels the session's sampler in reports. Default "this-work".
+	Name string
+	// BatchSize fixes the GD batch. When 0 and MemoryBudget is set, the
+	// batch adapts to the budget; when both are 0, core's default applies.
+	BatchSize int
+	// Iterations, LearningRate, Seed, Device, InitRange, Momentum are
+	// passed through to core.Config.
+	Iterations   int
+	LearningRate float32
+	Seed         int64
+	Device       tensor.Device
+	InitRange    float32
+	Momentum     float32
+	// MemoryBudget bounds the session's tensor allocation in bytes; the
+	// batch size adapts to fit (only consulted when BatchSize == 0). The
+	// compiled engine's tiled scratch is a fixed cost, so sizing solves
+	// fixed + perRow·batch <= budget.
+	MemoryBudget int64
+	// MaxBatch caps an adapted batch (default 8192: beyond ~8k rows per
+	// round the extra throughput is marginal on CPU but first-round
+	// latency grows linearly). Ignored when BatchSize is set explicitly.
+	MaxBatch int
+}
+
+// NewSession builds a sampling session over this problem. Sessions are
+// cheap — no transformation or engine compilation happens here — so a
+// service can create one per request.
+func (p *Problem) NewSession(cfg SessionConfig) (*Session, error) {
+	coreCfg := core.Config{
+		BatchSize:    cfg.BatchSize,
+		Iterations:   cfg.Iterations,
+		LearningRate: cfg.LearningRate,
+		Seed:         cfg.Seed,
+		Device:       cfg.Device,
+		InitRange:    cfg.InitRange,
+		Momentum:     cfg.Momentum,
+	}
+	if cfg.BatchSize == 0 && cfg.MemoryBudget > 0 {
+		workers := cfg.Device.Workers()
+		if workers < 1 {
+			workers = 1 // core defaults a zero Device to Sequential()
+		}
+		batch := p.core.BatchForBudget(workers, cfg.Momentum != 0, cfg.MemoryBudget)
+		if batch < 64 {
+			batch = 64
+		}
+		maxBatch := cfg.MaxBatch
+		if maxBatch <= 0 {
+			maxBatch = 8192
+		}
+		if batch > maxBatch {
+			batch = maxBatch
+		}
+		coreCfg.BatchSize = batch
+	}
+	s, err := p.core.NewSampler(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "this-work"
+	}
+	return &Session{prob: p, core: s, name: name}, nil
+}
+
+// Session is one sampling request over a shared Problem: a core sampler
+// session plus streaming bookkeeping. Sessions are lightweight (V/momentum
+// matrices, per-worker scratch, dedup pool) and independent — N sessions
+// over one Problem produce N mutually independent solution streams, each
+// deduplicated within itself and deterministic for its seed. A Session is
+// not safe for concurrent use (the batch rows are parallelized internally
+// per its Device); run concurrent requests on separate Sessions.
+type Session struct {
+	prob      *Problem
+	core      *core.Sampler
+	name      string
+	delivered int // solutions already handed to a sink
+	stats     Stats
+}
+
+// Name implements Sampler.
+func (s *Session) Name() string { return s.name }
+
+// Problem returns the shared compiled problem.
+func (s *Session) Problem() *Problem { return s.prob }
+
+// Core returns the underlying core sampler (engine stats, memory model).
+func (s *Session) Core() *core.Sampler { return s.core }
+
+// Stats returns the session's accumulated unified stats.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Stream implements Sampler: it runs GD rounds until target unique
+// solutions exist (target <= 0 means unbounded), delivering each newly
+// hardened-and-verified solution to sink as a dense CNF assignment the
+// moment its round completes — no collect-all buffering between the caller
+// and the pool. Cancellation via ctx stops between rounds with all partial
+// progress retained (and already streamed).
+func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, err error) {
+	start := time.Now()
+	// Timeout/Exhausted describe how *this* call ended; a reused session
+	// must not inherit them from a previous, cancelled call.
+	s.stats.Timeout, s.stats.Exhausted = false, false
+	defer func() {
+		s.stats.Elapsed += time.Since(start)
+		st = s.finish()
+	}()
+	// Deliver the backlog first so a reused session streams solutions a
+	// previous nil-sink call collected but never handed out.
+	if ferr := s.flush(sink); ferr != nil {
+		return st, s.sinkErr(ferr)
+	}
+	stale := 0
+	for target <= 0 || s.core.UniqueCount() < target {
+		if ctx.Err() != nil {
+			s.stats.Timeout = true
+			break
+		}
+		gained := s.core.Round()
+		s.stats.Calls++
+		if ferr := s.flush(sink); ferr != nil {
+			return st, s.sinkErr(ferr)
+		}
+		// Saturation guard (mirrors core.Sampler.SampleUntil): rounds are
+		// independent restarts, so a long run of zero-gain rounds means
+		// the reachable solution set is exhausted.
+		if gained == 0 {
+			stale++
+			if stale >= 64 && s.core.UniqueCount() > 0 {
+				s.stats.Exhausted = true
+				break
+			}
+		} else {
+			stale = 0
+		}
+	}
+	return st, nil
+}
+
+// flush streams solutions discovered since the last flush. Each delivery
+// allocates only the full assignment handed to the sink — the pool's
+// primary-input rows are expanded in place, never copied.
+func (s *Session) flush(sink Sink) error {
+	if sink == nil {
+		return nil
+	}
+	for n := s.core.UniqueCount(); s.delivered < n; {
+		sol := s.core.FullAssignmentAt(s.delivered)
+		s.delivered++
+		if err := sink(sol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish refreshes the snapshot fields derived from the core sampler.
+func (s *Session) finish() Stats {
+	s.stats.Unique = s.core.UniqueCount()
+	return s.stats
+}
+
+// sinkErr applies the shared sink-error contract to this session's stats.
+func (s *Session) sinkErr(err error) error {
+	return classifySinkErr(err, &s.stats.Timeout)
+}
+
+// SampleUntil is the blocking compatibility wrapper over Stream, matching
+// core.Sampler.SampleUntil's contract on the unified Stats.
+func (s *Session) SampleUntil(target int, timeout time.Duration) Stats {
+	return SampleUntil(s, target, timeout)
+}
+
+// Solutions implements Sampler: the session's unique solutions so far as
+// dense CNF assignments. Rows are freshly allocated — mutating them cannot
+// corrupt the dedup pool.
+func (s *Session) Solutions() [][]bool {
+	out := make([][]bool, s.core.UniqueCount())
+	for i := range out {
+		out[i] = s.core.FullAssignmentAt(i)
+	}
+	return out
+}
+
+// Channel is the channel adapter over Stream: it starts the stream in a
+// goroutine and delivers solutions on the returned channel, which is
+// closed when sampling ends. The returned wait function blocks until the
+// stream goroutine has finished and reports its final stats and error.
+// The session must not be used until wait returns, and a consumer that
+// stops reading before the channel closes must cancel ctx (e.g. hold a
+// `defer cancel()`) — the stream goroutine blocks on the channel send
+// and only ctx can release it.
+func (s *Session) Channel(ctx context.Context, target int) (<-chan []bool, func() (Stats, error)) {
+	ch := make(chan []bool, 64)
+	done := make(chan struct{})
+	var st Stats
+	var err error
+	go func() {
+		defer close(done)
+		defer close(ch)
+		st, err = s.Stream(ctx, target, func(sol []bool) error {
+			select {
+			case ch <- sol:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+	return ch, func() (Stats, error) {
+		<-done
+		return st, err
+	}
+}

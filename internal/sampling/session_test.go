@@ -1,0 +1,559 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/benchgen"
+	"repro/internal/cnf"
+	"repro/internal/tensor"
+)
+
+func bitString(sol []bool) string {
+	b := make([]byte, len(sol))
+	for i, v := range sol {
+		b[i] = '0'
+		if v {
+			b[i] = '1'
+		}
+	}
+	return string(b)
+}
+
+func sessionCfg(seed int64) SessionConfig {
+	return SessionConfig{Seed: seed, BatchSize: 256, Device: tensor.ParallelN(2)}
+}
+
+func TestSessionStreamDeliversEverySolution(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed [][]bool
+	st, err := s.Stream(context.Background(), 30, func(sol []bool) error {
+		streamed = append(streamed, sol)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unique < 30 {
+		t.Fatalf("unique = %d, want >= 30", st.Unique)
+	}
+	if len(streamed) != st.Unique {
+		t.Fatalf("streamed %d, stats report %d", len(streamed), st.Unique)
+	}
+	for i, sol := range streamed {
+		if !in.Formula.Sat(sol) {
+			t.Fatalf("streamed solution %d does not satisfy the CNF", i)
+		}
+	}
+	// The collect-everything surface agrees with the stream, in order.
+	sols := s.Solutions()
+	if len(sols) != len(streamed) {
+		t.Fatalf("Solutions() = %d rows, streamed %d", len(sols), len(streamed))
+	}
+	for i := range sols {
+		if bitString(sols[i]) != bitString(streamed[i]) {
+			t.Fatalf("row %d: Solutions() and stream disagree", i)
+		}
+	}
+}
+
+func TestSessionStreamMatchesSampleUntil(t *testing.T) {
+	in := benchgen.SmallSuite()[1]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.NewSession(sessionCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewSession(sessionCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed [][]bool
+	if _, err := a.Stream(context.Background(), 25, func(sol []bool) error {
+		streamed = append(streamed, sol)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.SampleUntil(25, 0)
+	blocking := b.Solutions()
+	if len(streamed) != len(blocking) {
+		t.Fatalf("stream found %d, blocking found %d", len(streamed), len(blocking))
+	}
+	for i := range streamed {
+		if bitString(streamed[i]) != bitString(blocking[i]) {
+			t.Fatalf("row %d differs between streaming and blocking runs", i)
+		}
+	}
+}
+
+// TestConcurrentSessionsOverOneProblem is the PR's concurrency satellite:
+// N goroutines sampling from one cached Problem must produce valid,
+// per-session-deduplicated streams, each identical to a sequential run of
+// the same seed. Run under -race in CI.
+func TestConcurrentSessionsOverOneProblem(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	c := NewCompiler(2)
+	p, err := c.Compile(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		target  = 40
+	)
+	streams := make([][][]bool, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := p.NewSession(sessionCfg(int64(100 + i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, err = s.Stream(context.Background(), target, func(sol []bool) error {
+				streams[i] = append(streams[i], sol)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, stream := range streams {
+		if len(stream) == 0 {
+			t.Fatalf("session %d streamed nothing", i)
+		}
+		seen := map[string]bool{}
+		for j, sol := range stream {
+			if !in.Formula.Sat(sol) {
+				t.Fatalf("session %d solution %d invalid", i, j)
+			}
+			key := bitString(sol)
+			if seen[key] {
+				t.Fatalf("session %d streamed duplicate solution %d", i, j)
+			}
+			seen[key] = true
+		}
+	}
+
+	// Each concurrent stream must be bit-identical to a sequential rerun
+	// with the same seed over a freshly compiled problem.
+	for i := 0; i < workers; i++ {
+		ref, err := CompileProblem(in.Formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ref.NewSession(sessionCfg(int64(100 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq [][]bool
+		if _, err := s.Stream(context.Background(), target, func(sol []bool) error {
+			seq = append(seq, sol)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(streams[i]) {
+			t.Fatalf("session %d: concurrent found %d, sequential %d", i, len(streams[i]), len(seq))
+		}
+		for j := range seq {
+			if bitString(seq[j]) != bitString(streams[i][j]) {
+				t.Fatalf("session %d row %d: concurrent and sequential streams differ", i, j)
+			}
+		}
+	}
+
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("shared problem compiled %d times, want 1", st.Misses)
+	}
+}
+
+func TestStreamContextCancellation(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	st, err := s.Stream(ctx, 1<<30, func(sol []bool) error {
+		delivered++
+		if delivered == 5 {
+			cancel() // cancel mid-stream; already-delivered solutions stay delivered
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Timeout {
+		t.Error("cancelled stream not marked Timeout")
+	}
+	if delivered == 0 || delivered != st.Unique {
+		t.Errorf("delivered %d, stats report %d — partial results must be fully streamed", delivered, st.Unique)
+	}
+}
+
+func TestStreamDeadline(t *testing.T) {
+	in := benchgen.SmallSuite()[2]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	st, err := s.Stream(ctx, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Timeout && !st.Exhausted {
+		t.Error("unbounded target ended without timeout or exhaustion")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("deadline ignored: ran %v", time.Since(start))
+	}
+}
+
+func TestStreamSinkStopAndError(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	st, err := s.Stream(context.Background(), 1<<30, func(sol []bool) error {
+		n++
+		if n >= 3 {
+			return Stop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stop must not surface as an error, got %v", err)
+	}
+	if st.Unique == 0 {
+		t.Error("no progress before Stop")
+	}
+
+	boom := errors.New("boom")
+	s2, err := p.NewSession(sessionCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Stream(context.Background(), 1<<30, func(sol []bool) error {
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("sink error lost: got %v", err)
+	}
+}
+
+func TestStreamResumesBacklogAcrossCalls(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call collects without a sink; the second must deliver that
+	// backlog before sampling further.
+	first := s.SampleUntil(10, 0)
+	if first.Unique == 0 {
+		t.Fatal("no solutions collected")
+	}
+	var streamed [][]bool
+	st, err := s.Stream(context.Background(), first.Unique+5, func(sol []bool) error {
+		streamed = append(streamed, sol)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != st.Unique {
+		t.Errorf("streamed %d, total unique %d — backlog not delivered", len(streamed), st.Unique)
+	}
+}
+
+func TestChannelAdapter(t *testing.T) {
+	in := benchgen.SmallSuite()[1]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, wait := s.Channel(ctx, 20)
+	var got [][]bool
+	for sol := range ch {
+		if !in.Formula.Sat(sol) {
+			t.Fatal("channel delivered invalid solution")
+		}
+		got = append(got, sol)
+	}
+	st, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != st.Unique {
+		t.Errorf("channel delivered %d, stats report %d", len(got), st.Unique)
+	}
+	if st.Unique < 20 && !st.Exhausted && !st.Timeout {
+		t.Errorf("target missed without a reason: %+v", st)
+	}
+}
+
+func TestChannelAdapterCancelledConsumer(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, wait := s.Channel(ctx, 1<<30)
+	n := 0
+	for range ch {
+		n++
+		if n == 3 {
+			cancel() // stop consuming; the stream goroutine must exit
+		}
+	}
+	st, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Timeout {
+		t.Error("cancelled channel stream not marked Timeout")
+	}
+}
+
+func TestSolutionRowsAreCallerOwned(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SampleUntil(10, 0)
+	a := s.Solutions()
+	for _, row := range a {
+		for i := range row {
+			row[i] = !row[i] // vandalize the returned rows
+		}
+	}
+	b := s.Solutions()
+	for i := range b {
+		if !in.Formula.Sat(b[i]) {
+			t.Fatal("mutating returned rows corrupted the sampler's pool")
+		}
+	}
+}
+
+func TestWrapBaselineStreams(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	w := WrapSlice(baselines.NewCMSGenLike(in.Formula, 1), 50*time.Millisecond)
+	if w.Name() != "cmsgen-like" {
+		t.Errorf("name = %q", w.Name())
+	}
+	var streamed [][]bool
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := w.Stream(ctx, 15, func(sol []bool) error {
+		streamed = append(streamed, sol)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unique == 0 {
+		t.Fatal("wrapped baseline found nothing")
+	}
+	if len(streamed) != st.Unique {
+		t.Fatalf("streamed %d, stats report %d", len(streamed), st.Unique)
+	}
+	for i, sol := range streamed {
+		if !in.Formula.Sat(sol) {
+			t.Fatalf("streamed baseline solution %d invalid", i)
+		}
+	}
+	if got := w.Solutions(); len(got) != st.Unique {
+		t.Errorf("Solutions() = %d rows, want %d", len(got), st.Unique)
+	}
+}
+
+func TestWrapBaselineCancellation(t *testing.T) {
+	// An effectively unbounded target on a large instance: only ctx can
+	// stop the wrapped sampler, and partial progress must be streamed.
+	in := benchgen.OrChain("or-cancel", 40, 4, 99)
+	w := WrapSlice(baselines.NewCMSGenLike(in.Formula, 1), 20*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	delivered := 0
+	st, err := w.Stream(ctx, 1<<30, func(sol []bool) error {
+		delivered++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Timeout && !st.Exhausted {
+		t.Errorf("stream ended without timeout or exhaustion: %+v", st)
+	}
+	if delivered != st.Unique {
+		t.Errorf("delivered %d, stats report %d", delivered, st.Unique)
+	}
+}
+
+func TestSessionMemoryBudgetAdaptsBatch(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := p.NewSession(SessionConfig{Seed: 1, MemoryBudget: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := p.NewSession(SessionConfig{Seed: 1, MemoryBudget: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, rb := batchOf(t, tight), batchOf(t, roomy)
+	if tb >= rb {
+		t.Errorf("tight budget batch %d not below roomy batch %d", tb, rb)
+	}
+	if rb > 8192 {
+		t.Errorf("adapted batch %d exceeds default cap", rb)
+	}
+	if st := tight.SampleUntil(5, 2*time.Second); st.Unique == 0 {
+		t.Error("budgeted session found nothing")
+	}
+}
+
+// batchOf extracts the configured batch size from the core sampler's
+// self-description (the config itself is unexported).
+func batchOf(t *testing.T, s *Session) int {
+	t.Helper()
+	desc := s.Core().String()
+	i := strings.Index(desc, "batch=")
+	if i < 0 {
+		t.Fatalf("no batch in %q", desc)
+	}
+	var b int
+	if _, err := fmt.Sscanf(desc[i+len("batch="):], "%d", &b); err != nil {
+		t.Fatalf("cannot parse batch from %q: %v", desc, err)
+	}
+	return b
+}
+
+func TestStreamTimeoutNotStickyAcrossCalls(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // first call: cancelled before any work
+	st, err := s.Stream(cancelled, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Timeout {
+		t.Fatal("cancelled call not marked Timeout")
+	}
+	st, err = s.Stream(context.Background(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Timeout {
+		t.Error("successful call inherited Timeout from a previous cancelled call")
+	}
+	if st.Unique < 5 {
+		t.Errorf("unique = %d want >= 5", st.Unique)
+	}
+}
+
+func TestWrapTerminatesOnExhaustionWithoutDeadline(t *testing.T) {
+	// A single-solution formula (x3 = x1 AND x2, constrained true) with an
+	// unreachable target and NO context deadline: the wrapper's cross-slice
+	// staleness guard must terminate the stream — the baselines' own stale
+	// counters are local to one Sample call and reset every slice.
+	f := cnf.New(3)
+	f.AddClause(3, -1, -2)
+	f.AddClause(-3, 1)
+	f.AddClause(-3, 2)
+	f.AddClause(3)
+	w := WrapSlice(baselines.NewCMSGenLike(f, 1), 20*time.Millisecond)
+	done := make(chan Stats, 1)
+	go func() {
+		st, err := w.Stream(context.Background(), 1000, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- st
+	}()
+	select {
+	case st := <-done:
+		if st.Unique != 1 {
+			t.Errorf("unique = %d want 1", st.Unique)
+		}
+		if !st.Exhausted {
+			t.Errorf("exhausted instance not flagged: %+v", st)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("wrapped stream did not terminate on an exhausted instance")
+	}
+}
