@@ -6,11 +6,17 @@
 //	paperbench -exp fig3              # Fig. 3: learning curve + memory model
 //	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
 //	paperbench -exp engine            # compiled-engine shape: fusion, registers, memory
+//	paperbench -exp sched             # continuous-batch scheduler vs round mode
 //	paperbench -exp all               # everything
 //
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
 // minutes rather than the paper's 2-hour timeouts (see EXPERIMENTS.md).
-// -csv switches the output to CSV for plotting.
+// -csv switches the output to CSV for plotting. -json PATH additionally
+// writes every measured row (instance, sol/s, ticks/rounds, cache
+// counters) as machine-readable JSON, so CI can archive the perf
+// trajectory across commits. -checksched exits non-zero unless the
+// continuous scheduler's sol/s is at least round mode's on the small
+// smoke instances — the regression gate for the scheduler.
 //
 // All experiments share one sampling.Compiler, so each instance is
 // transformed and engine-compiled once for the whole run (fig3, fig4 and
@@ -20,10 +26,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -34,14 +42,33 @@ import (
 	"repro/internal/tensor"
 )
 
+// report is the -json output: one object per run holding whichever
+// experiments executed plus the shared compile-cache counters.
+type report struct {
+	Schema  string                 `json:"schema"` // "paperbench/v1"
+	Suite   string                 `json:"suite"`  // "full" or "small"
+	Target  int                    `json:"target"`
+	Timeout string                 `json:"timeout"`
+	Workers int                    `json:"workers"`
+	GoOS    string                 `json:"goos"`
+	GoArch  string                 `json:"goarch"`
+	Table2  []harness.Table2Row    `json:"table2,omitempty"`
+	Sched   []harness.SchedRow     `json:"sched,omitempty"`
+	Fig2    []harness.Fig2Point    `json:"fig2,omitempty"`
+	Fig4    []harness.Fig4Row      `json:"fig4,omitempty"`
+	Cache   sampling.CompilerStats `json:"cache"`
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | all")
-		target  = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
-		small   = flag.Bool("small", false, "use the fast 4-instance smoke suite")
+		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | all")
+		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		small      = flag.Bool("small", false, "use the fast 4-instance smoke suite")
+		jsonPath   = flag.String("json", "", "write machine-readable results to this file")
+		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
 	)
 	flag.Parse()
 
@@ -58,31 +85,49 @@ func main() {
 	table2Set := benchgen.Table2Instances
 	fig2Set := benchgen.Suite60
 	figSet := benchgen.Fig4Instances
+	schedSet := benchgen.SmallSuite
+	suite := "full"
 	if *small {
 		table2Set = benchgen.SmallSuite
 		fig2Set = benchgen.SmallSuite
 		figSet = benchgen.SmallSuite
+		suite = "small"
 	}
 
+	rep := &report{
+		Schema:  "paperbench/v1",
+		Suite:   suite,
+		Target:  *target,
+		Timeout: timeout.String(),
+		Workers: dev.Workers(),
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+	}
+
+	schedOK := true
 	switch *exp {
 	case "table2":
-		runTable2(ctx, table2Set(), opt, *csv)
+		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
 	case "fig2":
-		runFig2(ctx, fig2Set(), opt, *csv)
+		rep.Fig2 = runFig2(ctx, fig2Set(), opt, *csv)
 	case "fig3":
 		runFig3(ctx, figSet(), opt)
 	case "fig4":
-		runFig4(ctx, figSet(), opt)
+		rep.Fig4 = runFig4(ctx, figSet(), opt)
 	case "engine":
 		runEngine(ctx, figSet(), compiler, dev)
+	case "sched":
+		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
 	case "all":
-		runTable2(ctx, table2Set(), opt, *csv)
+		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
 		fmt.Println()
-		runFig2(ctx, fig2Set(), opt, *csv)
+		rep.Fig2 = runFig2(ctx, fig2Set(), opt, *csv)
 		fmt.Println()
 		runFig3(ctx, figSet(), opt)
 		fmt.Println()
-		runFig4(ctx, figSet(), opt)
+		rep.Fig4 = runFig4(ctx, figSet(), opt)
+		fmt.Println()
+		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
 		fmt.Println()
 		runEngine(ctx, figSet(), compiler, dev)
 	default:
@@ -90,30 +135,52 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	rep.Cache = compiler.Stats()
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: wrote %s\n", *jsonPath)
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "paperbench: interrupted — rendered partial results")
 	}
+	if !schedOK {
+		fmt.Fprintln(os.Stderr, "paperbench: scheduler check FAILED — continuous mode slower than round mode")
+		os.Exit(1)
+	}
 }
 
-func runTable2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+func writeJSON(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runTable2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) []harness.Table2Row {
 	fmt.Printf("== Table II: unique-solution throughput (target %d, timeout %v) ==\n\n",
 		opt.Target, opt.Timeout)
 	rows := harness.RunTable2(ctx, ins, opt)
 	if csv {
 		harness.RenderTable2CSV(os.Stdout, rows)
-		return
+		return rows
 	}
 	harness.RenderTable2(os.Stdout, rows)
+	return rows
 }
 
-func runFig2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) {
+func runFig2(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, csv bool) []harness.Fig2Point {
 	fmt.Printf("== Fig. 2: latency vs unique solutions (%d instances) ==\n\n", len(ins))
 	pts := harness.RunFig2(ctx, ins, []int{10, 100, 1000}, opt)
 	if csv {
 		harness.RenderFig2CSV(os.Stdout, pts)
-		return
+		return pts
 	}
 	harness.RenderFig2(os.Stdout, pts)
+	return pts
 }
 
 func runFig3(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions) {
@@ -123,11 +190,58 @@ func runFig3(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptio
 	harness.RenderFig3(os.Stdout, res)
 }
 
-func runFig4(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions) {
+func runFig4(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions) []harness.Fig4Row {
 	fmt.Println("== Fig. 4: device ablation, ops reduction, transformation time ==")
 	fmt.Println()
 	rows := harness.RunFig4(ctx, ins, opt)
 	harness.RenderFig4(os.Stdout, rows)
+	return rows
+}
+
+// runSched measures the continuous-batch scheduler against the legacy
+// round-synchronous loop (same compiled problem, seed and batch per
+// instance). With check set, it requires continuous sol/s >= round sol/s
+// on every instance of the small smoke suite present in the run — the CI
+// regression gate for the scheduler. Three repeats per mode keep the best
+// arm, damping machine noise on sub-millisecond instances.
+func runSched(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, check bool) ([]harness.SchedRow, bool) {
+	fmt.Printf("== Scheduler: continuous batching vs round barrier (target %d, timeout %v) ==\n\n",
+		opt.Target, opt.Timeout)
+	rows := harness.RunSched(ctx, ins, 3, opt)
+	harness.RenderSched(os.Stdout, rows)
+	if !check {
+		return rows, true
+	}
+	smoke := map[string]bool{}
+	for _, in := range benchgen.SmallSuite() {
+		smoke[in.Name] = true
+	}
+	ok, checked := true, 0
+	for _, r := range rows {
+		if !smoke[r.Instance] {
+			continue
+		}
+		checked++
+		// Both arms must have actually measured something: a cancelled or
+		// failed run reports 0 sol/s on both sides, and 0 >= 0 must not
+		// count as the scheduler passing its regression gate.
+		if r.ContSolS <= 0 || r.RoundSolS <= 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: mode not measured (cont %.0f, round %.0f sol/s)\n",
+				r.Instance, r.ContSolS, r.RoundSolS)
+			ok = false
+			continue
+		}
+		if r.ContSolS < r.RoundSolS {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: continuous %.0f sol/s < round %.0f sol/s\n",
+				r.Instance, r.ContSolS, r.RoundSolS)
+			ok = false
+		}
+	}
+	if checked < 2 {
+		fmt.Fprintf(os.Stderr, "paperbench: -checksched needs at least two smoke instances, got %d\n", checked)
+		ok = false
+	}
+	return rows, ok
 }
 
 // runEngine reports the compiled execution engine's shape per instance:

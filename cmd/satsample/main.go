@@ -7,8 +7,12 @@
 //	satsample -in formula.cnf [-n 1000] [-timeout 30s] [-sampler gd]
 //	          [-batch 4096] [-iters 5] [-lr 10] [-seed 1] [-workers 0]
 //	          [-v] [-out solutions.txt]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Samplers: gd (this work), diff, cmsgen, unigen.
+// Profiling: -cpuprofile records the sampling hot path (profiling starts
+// after compilation, so the profile is pure sampling); -memprofile writes
+// a heap profile after a final GC. Both are `go tool pprof` inputs.
 // Output: one solution per line, as a 0/1 string over variables 1..N,
 // streamed as each solution is verified; a summary goes to stderr.
 //
@@ -25,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -54,6 +60,8 @@ func run() (err error) {
 		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs, 1 = sequential)")
 		verbose = flag.Bool("v", false, "verbose transformation/config output")
 		outPath = flag.String("out", "", "write solutions to file instead of stdout")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sampling loop to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -109,6 +117,45 @@ func run() (err error) {
 	}, *verbose)
 	if err != nil {
 		return err
+	}
+
+	// Profiling brackets the sampling loop only: the CPU profile starts
+	// after the transform/compile so hot-path work isn't diluted by
+	// one-time setup, and the heap profile is written after a final GC so
+	// it shows live sampling state, not garbage.
+	if *cpuProf != "" {
+		fh, perr := os.Create(*cpuProf)
+		if perr != nil {
+			return perr
+		}
+		if perr := pprof.StartCPUProfile(fh); perr != nil {
+			fh.Close()
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := fh.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			fh, perr := os.Create(*memProf)
+			if perr != nil {
+				if err == nil {
+					err = perr
+				}
+				return
+			}
+			runtime.GC()
+			if perr := pprof.WriteHeapProfile(fh); perr != nil && err == nil {
+				err = perr
+			}
+			if cerr := fh.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 
 	// The timeout budgets sampling only — it starts after the CNF

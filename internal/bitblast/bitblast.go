@@ -114,6 +114,36 @@ func (e *Eval) Verify(cols [][]uint64, words int, valid []uint64) {
 	}
 }
 
+// VerifyMasked is the incremental form of Verify used by the continuous-
+// batch scheduler: it re-runs the node evaluation and clause sweep only for
+// words w with mask[w] != 0 (words holding at least one lane whose packed
+// bits changed since the caller's last sweep) and leaves valid[w] untouched
+// for clean words. Because a lane's validity is a pure function of its
+// packed bits, a caller that keeps valid[] across sweeps and marks every
+// changed lane's word dirty reads exact results at a fraction of the full
+// sweep's cost. Like Verify, it performs no allocations.
+func (e *Eval) VerifyMasked(cols [][]uint64, words int, mask, valid []uint64) {
+	p := e.prog
+	if len(cols) != len(p.circ.Inputs) {
+		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
+	}
+	if p.unsat {
+		for w := 0; w < words; w++ {
+			if mask[w] != 0 {
+				valid[w] = 0
+			}
+		}
+		return
+	}
+	for w := 0; w < words; w++ {
+		if mask[w] == 0 {
+			continue
+		}
+		e.evalWord(cols, w)
+		valid[w] = e.checkWord()
+	}
+}
+
 // OutputsMask evaluates the circuit on packed input columns and writes one
 // mask word per input word whose bit r is set iff lane r drives every
 // circuit output to its target — the packed analogue of

@@ -148,6 +148,83 @@ func TestNodelessVariableConventions(t *testing.T) {
 	}
 }
 
+// TestVerifyMaskedMatchesVerify: the masked incremental sweep must agree
+// with the full sweep on every dirty word and must not touch the cached
+// validity of clean words — the contract the continuous-batch scheduler's
+// per-iteration verification relies on.
+func TestVerifyMaskedMatchesVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(r, 3+r.Intn(5), 5+r.Intn(15))
+		enc := c.Tseitin()
+		ext, err := extract.Transform(enc.Formula)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := len(ext.Circuit.Inputs)
+		if n == 0 {
+			continue
+		}
+		batch := 70 + r.Intn(200) // covers tail lanes and multi-word batches
+		cols, _ := packInputs(r, n, batch)
+		words := (batch + 63) / 64
+		prog := ext.Verifier(enc.Formula)
+		full := make([]uint64, words)
+		prog.NewEval().Verify(cols, words, full)
+
+		mask := make([]uint64, words)
+		cached := make([]uint64, words)
+		ev := prog.NewEval()
+		for w := 0; w < words; w++ {
+			if r.Intn(2) == 0 {
+				mask[w] = 1 << uint(r.Intn(64)) // any dirty lane marks the word
+			}
+			cached[w] = r.Uint64() // stale garbage the sweep must preserve
+		}
+		want := append([]uint64(nil), cached...)
+		ev.VerifyMasked(cols, words, mask, cached)
+		for w := 0; w < words; w++ {
+			if mask[w] != 0 {
+				if cached[w] != full[w] {
+					t.Fatalf("trial %d word %d: masked=%x full=%x", trial, w, cached[w], full[w])
+				}
+			} else if cached[w] != want[w] {
+				t.Fatalf("trial %d word %d: clean word rewritten %x -> %x", trial, w, want[w], cached[w])
+			}
+		}
+		// All-dirty masked sweep == full sweep.
+		for w := range mask {
+			mask[w] = ^uint64(0)
+		}
+		ev.VerifyMasked(cols, words, mask, cached)
+		for w := 0; w < words; w++ {
+			if cached[w] != full[w] {
+				t.Fatalf("trial %d word %d: all-dirty masked sweep diverged", trial, w)
+			}
+		}
+	}
+}
+
+// TestVerifyMaskedZeroAllocs: the incremental sweep must not allocate.
+func TestVerifyMaskedZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	c := randomCircuit(r, 6, 20)
+	enc := c.Tseitin()
+	ext, err := extract.Transform(enc.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := packInputs(r, len(ext.Circuit.Inputs), 256)
+	words := 4
+	mask := []uint64{^uint64(0), 0, 1, 0}
+	valid := make([]uint64, words)
+	ev := ext.Verifier(enc.Formula).NewEval()
+	allocs := testing.AllocsPerRun(100, func() { ev.VerifyMasked(cols, words, mask, valid) })
+	if allocs != 0 {
+		t.Errorf("VerifyMasked allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestVerifyZeroAllocs: the word sweep must not allocate.
 func TestVerifyZeroAllocs(t *testing.T) {
 	r := rand.New(rand.NewSource(13))

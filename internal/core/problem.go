@@ -102,6 +102,8 @@ func (p *Problem) MemoryEstimate(workers, batch int, momentum bool) int64 {
 	}
 	linear += b * n / 8 // packed hardened columns
 	linear += b / 8     // validity masks
+	linear += 10 * b    // continuous scheduler: ages, restart counters, change/retire flags
+	linear += b / 8     // continuous scheduler: dirty-word mask
 	return fixed + linear
 }
 

@@ -34,6 +34,18 @@ type Config struct {
 	// (Momentum = 0); this is an optimizer extension evaluated by the
 	// ablation benchmarks.
 	Momentum float32
+	// MaxAge is the continuous scheduler's restart cap: a row that has run
+	// MaxAge GD steps since its last (re)start without satisfying the
+	// formula is recycled with fresh noise instead of left spinning.
+	// Default 3×Iterations (a stalled row gets three round-mode budgets
+	// before it is declared stuck).
+	MaxAge int
+	// RoundMode selects the paper's round-synchronous sampling loop for
+	// SampleUntil instead of the continuous-batch scheduler: every round
+	// re-initializes the full batch, runs Iterations GD steps, then hardens
+	// and verifies once. Retained as the compatibility mode and as the
+	// differential oracle for the continuous scheduler.
+	RoundMode bool
 }
 
 func (c Config) withDefaults() Config {
@@ -52,18 +64,28 @@ func (c Config) withDefaults() Config {
 	if c.Device.Workers() < 1 {
 		c.Device = tensor.Sequential()
 	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = 3 * c.Iterations
+	}
 	return c
 }
 
-// Stats accumulates sampling progress.
+// Stats accumulates sampling progress. Rounds counts round-mode rounds;
+// Sweeps/Retired/Stalled describe the continuous scheduler. Candidates is
+// the number of candidate trajectories consumed: hardened batch rows
+// examined in round mode, retired rows (satisfied or age-capped) in
+// continuous mode.
 type Stats struct {
-	Rounds     int           // GD rounds executed
+	Rounds     int           // GD rounds executed (round mode)
 	Iterations int           // total GD iterations
-	Candidates int           // hardened batch rows examined
-	Valid      int           // rows that verified against the CNF
+	Sweeps     int           // harden/verify/retire sweeps (continuous mode)
+	Candidates int           // candidate trajectories consumed
+	Valid      int           // new unique rows that verified against the CNF
 	Unique     int           // distinct valid solutions retained
-	Elapsed    time.Duration // wall-clock time in Sample/Run calls
-	FinalLoss  float64       // ℓ2 loss after the last round
+	Retired    int           // rows retired satisfied (continuous mode)
+	Stalled    int           // rows recycled at the restart cap (continuous mode)
+	Elapsed    time.Duration // wall-clock time inside sampling calls
+	FinalLoss  float64       // ℓ2 loss after the last GD iteration
 }
 
 // Throughput returns unique solutions per second.
@@ -128,6 +150,24 @@ type Sampler struct {
 	sols   [][]bool           // unique PI assignments in discovery order
 	round  int64
 	stats  Stats
+
+	// Continuous-batch scheduler state (scheduler.go). The per-row arrays
+	// are allocated lazily on the first ContinuousStep so round-mode
+	// sessions pay nothing; contReady is cleared by Round/RoundTrace so an
+	// interleaved continuous call re-seeds from the round stream.
+	contReady  bool
+	track      bool                // stepTile records hardened-sign changes
+	stile      int                 // scheduler tile (rows per tile, ≤ prob.tile)
+	numTiles   int                 // fixed tile count covering the batch
+	active     []int32             // live rows per tile, compacted to the head
+	ages       []int32             // GD steps since the row's last (re)start
+	restarts   []uint32            // per-slot restart counter (noise stream key)
+	changed    []bool              // lane's hardened bits may differ from cols
+	retiredFl  []bool              // per-sweep retirement flags (scratch)
+	dirty      []uint64            // per-word dirty mask for the masked sweep
+	staleRet   int                 // rows retired since the last new unique
+	exhausted  bool                // saturation guard tripped
+	contStepFn func(w, lo, hi int) // prebound tile worker (keeps ticks 0 allocs)
 }
 
 // New compiles (f, ext) into a Problem and builds a sampler session over
@@ -180,6 +220,22 @@ func newSession(p *Problem, cfg Config) (*Sampler, error) {
 		}
 		s.loss[w] = sum
 	}
+
+	// Scheduler tiles: the continuous scheduler parallelizes whole tiles
+	// (its per-tile active regions make arbitrary row stripes impossible).
+	// The tile size is a pure function of the batch and the cache tile —
+	// never of the device — so compaction targets and per-slot restart
+	// streams, and therefore the solution stream for a seed, are identical
+	// for any worker count. Large batches split the cache tile into up to
+	// 64 scheduler tiles (≥64 rows each) to keep many-worker devices fed.
+	s.stile = (batch + 63) / 64
+	if s.stile < 64 {
+		s.stile = 64
+	}
+	if s.stile > p.tile {
+		s.stile = p.tile
+	}
+	s.numTiles = (batch + s.stile - 1) / s.stile
 
 	words := (batch + 63) / 64
 	s.veval = p.verify.NewEval()
@@ -273,6 +329,7 @@ func (s *Sampler) FullAssignment(sol []bool) []bool {
 func (s *Sampler) Round() int {
 	start := time.Now()
 	defer func() { s.stats.Elapsed += time.Since(start) }()
+	s.leaveContinuous()
 	s.initRound()
 	for it := 0; it < s.cfg.Iterations; it++ {
 		s.step()
@@ -288,6 +345,7 @@ func (s *Sampler) Round() int {
 func (s *Sampler) RoundTrace() []int {
 	start := time.Now()
 	defer func() { s.stats.Elapsed += time.Since(start) }()
+	s.leaveContinuous()
 	s.initRound()
 	s.stats.Rounds++
 	curve := make([]int, 0, s.cfg.Iterations+1)
@@ -301,10 +359,36 @@ func (s *Sampler) RoundTrace() []int {
 	return curve
 }
 
-// SampleUntil runs rounds until target unique solutions are found or the
+// SampleUntil samples until target unique solutions are found or the
 // timeout elapses (timeout <= 0 means no timeout). It returns the stats
-// snapshot at completion.
+// snapshot at completion. The default driver is the continuous-batch
+// scheduler (ContinuousStep); Config.RoundMode selects the paper's
+// round-synchronous loop instead.
 func (s *Sampler) SampleUntil(target int, timeout time.Duration) Stats {
+	if s.cfg.RoundMode {
+		return s.sampleUntilRounds(target, timeout)
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for s.stats.Unique < target {
+		s.ContinuousStep(target)
+		// Saturation: the scheduler's zero-gain guard counts retired-row
+		// gain (candidate trajectories consumed without a new unique), not
+		// rounds — see Exhausted.
+		if s.exhausted {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+	}
+	return s.stats
+}
+
+// sampleUntilRounds is the round-mode SampleUntil loop (Config.RoundMode).
+func (s *Sampler) sampleUntilRounds(target int, timeout time.Duration) Stats {
 	deadline := time.Time{}
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -400,7 +484,10 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 
 	// Input update through the sigmoid embedding (optionally with
 	// classical momentum). Reading an input's adjoint re-zeroes it,
-	// restoring the engine's register invariant for the next step.
+	// restoring the engine's register invariant for the next step. In
+	// continuous mode (track) the update also records whether any input's
+	// hardened sign flipped, so the next sweep repacks and re-verifies only
+	// lanes that could have changed.
 	n := e.numInputs
 	for t := 0; t < nt; t++ {
 		r := r0 + t
@@ -409,6 +496,7 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 		if s.mmat != nil {
 			mrow = s.mmat.Row(r)
 		}
+		flipped := false
 		for i := 0; i < n; i++ {
 			var dv float32
 			if e.liveIn[i] {
@@ -421,7 +509,13 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 				dv += mom * mrow[i]
 				mrow[i] = dv
 			}
-			vrow[i] = vrow[i] - lr*dv
+			old := vrow[i]
+			nv := old - lr*dv
+			vrow[i] = nv
+			flipped = flipped || (old > 0) != (nv > 0)
+		}
+		if s.track && flipped {
+			s.changed[r] = true
 		}
 	}
 	return sum
@@ -461,22 +555,31 @@ func (s *Sampler) collect() int {
 		if s.valid[r>>6]>>(uint(r)&63)&1 == 0 {
 			continue
 		}
-		h := s.packRow(r)
-		if s.isDuplicate(h) {
-			continue
+		if s.recordRow(r) {
+			newUnique++
 		}
-		s.stats.Valid++
-		sol := make([]bool, n)
-		w, b := r>>6, uint(r)&63
-		for i := 0; i < n; i++ {
-			sol[i] = s.cols[i][w]>>b&1 == 1
-		}
-		s.unique[h] = append(s.unique[h], int32(len(s.sols)))
-		s.sols = append(s.sols, sol)
-		newUnique++
 	}
 	s.stats.Unique = len(s.sols)
 	return newUnique
+}
+
+// recordRow folds the hardened candidate at lane r of the packed columns
+// into the dedup pool, reporting whether it was new.
+func (s *Sampler) recordRow(r int) bool {
+	h := s.packRow(r)
+	if s.isDuplicate(h) {
+		return false
+	}
+	s.stats.Valid++
+	n := s.prob.eng.numInputs
+	sol := make([]bool, n)
+	w, b := r>>6, uint(r)&63
+	for i := 0; i < n; i++ {
+		sol[i] = s.cols[i][w]>>b&1 == 1
+	}
+	s.unique[h] = append(s.unique[h], int32(len(s.sols)))
+	s.sols = append(s.sols, sol)
+	return true
 }
 
 // packRow gathers candidate row r from the packed columns into rowbuf and

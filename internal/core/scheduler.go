@@ -1,0 +1,350 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// This file implements the continuous-batch scheduler: the replacement for
+// the paper's round-synchronous sampling loop. The round loop wastes work
+// at both ends of a round — rows that satisfy the formula after the first
+// GD iteration burn the remaining steps re-learning a solution the pool
+// already holds, and rows one step from converging are discarded at the
+// round barrier. The scheduler removes the barrier (see DESIGN.md,
+// "Continuous batching"):
+//
+//   - Every tick starts with a sweep: lanes whose hardened signs may have
+//     flipped since the last sweep (tracked for free inside the GD update)
+//     are repacked into the bit-parallel columns, and only words holding a
+//     dirty lane re-run the CNF clause sweep (bitblast.VerifyMasked) —
+//     validity is a pure function of the packed bits, so cached masks stay
+//     exact for clean lanes.
+//   - Satisfied rows retire immediately: their solution folds into the
+//     dedup pool (and streams to any sink the session holds) and the lane
+//     is recycled. Rows that reach the restart cap (Config.MaxAge GD steps
+//     without satisfying) recycle too, instead of spinning on a hopeless
+//     trajectory.
+//   - Tiles stay dense: surviving rows are compacted to the tile head so
+//     the fused kernels keep operating on contiguous row ranges with no
+//     per-row branches, and retired lanes collect at the tail where the
+//     refill pass re-noises them from per-slot SplitMix64 restart streams.
+//   - Admission control: normally every retired lane refills, keeping the
+//     whole batch busy. Once the remaining demand (target − unique) drops
+//     below batch/16, refill admits only what the target can still use —
+//     the active set shrinks tile by tile and the final ticks stop paying
+//     for rows whose solutions would be discarded.
+//
+// Because the first tick's sweep runs before any GD step, the initial
+// batch is verified as raw noise — the "iteration 0" harvest of the
+// paper's Fig. 3 learning curve. Refilled lanes are swept one GD step
+// after their restart (refill lands at the end of a sweep and the step
+// follows): the descent from fresh noise only raises a lane's
+// satisfaction odds, so no harvest is lost, but a restart's raw draw is
+// never itself verified.
+//
+// Determinism: the sweep, retire, compaction and refill passes are
+// sequential and depend only on the packed bits and per-slot counters; the
+// GD step is row-independent. A given seed therefore produces the same
+// solution stream on any device parallelism, and the first tick sees
+// exactly the V state round 0 of the round sampler sees (initContinuous
+// draws from the same round stream).
+
+const (
+	// restartStride separates the per-slot restart noise streams from one
+	// another and from the round-stream initialization.
+	restartStride = 0x6A09E667F3BCC909
+	// admissionOvercommit is how many active rows the refill pass keeps per
+	// remaining requested solution once the target is nearly met; the
+	// overcommit absorbs duplicate retirements without starving the drain.
+	admissionOvercommit = 16
+	// minActive floors the shrunken active set (clamped to the batch) so a
+	// tiny remaining demand still gets a dense tile of explorers.
+	minActive = 128
+	// staleRetiresPerRow scales the saturation guard: the scheduler
+	// declares the reachable solution set exhausted after 64×batch retired
+	// trajectories gain nothing — the retired-row analogue of round mode's
+	// 64 consecutive zero-gain rounds.
+	staleRetiresPerRow = 64
+)
+
+// ContinuousStep advances the continuous-batch scheduler by one tick: a
+// sweep (incremental harden, masked bit-parallel verify, retire/restart)
+// followed — unless the target is met or the pool is saturated — by one
+// fused GD iteration over the active rows. target is the total unique
+// solutions the driver wants (<= 0 means unbounded); it steers admission
+// only, the caller owns the stop condition. It returns the number of new
+// unique solutions retired this tick.
+func (s *Sampler) ContinuousStep(target int) int {
+	start := time.Now()
+	defer func() { s.stats.Elapsed += time.Since(start) }()
+	if !s.contReady {
+		s.initContinuous()
+	}
+	gained := s.sweep(target)
+	if s.exhausted || (target > 0 && len(s.sols) >= target) {
+		return gained
+	}
+	s.stepActive()
+	return gained
+}
+
+// Exhausted reports whether the scheduler's saturation guard has tripped:
+// 64×batch candidate trajectories retired since the last new unique
+// solution (with a non-empty pool) — the reachable solution set is
+// exhausted. Cleared when a new unique appears or the scheduler re-seeds.
+func (s *Sampler) Exhausted() bool { return s.exhausted }
+
+// ActiveRows reports how many batch rows the scheduler currently runs GD
+// on (the full batch outside the admission-controlled drain).
+func (s *Sampler) ActiveRows() int {
+	n := 0
+	for _, a := range s.active {
+		n += int(a)
+	}
+	return n
+}
+
+// initContinuous seeds the scheduler. V is drawn from the round stream —
+// the first tick sees exactly the state round 0 of the round sampler sees
+// — and every lane starts active at age 0 and marked changed, so the first
+// sweep packs and verifies the whole batch. Per-slot restart counters are
+// deliberately NOT reset on re-entry (after an interleaved Round call):
+// replaying a restart stream would re-explore trajectories this sampler
+// already consumed.
+func (s *Sampler) initContinuous() {
+	batch := s.cfg.BatchSize
+	if s.ages == nil {
+		s.ages = make([]int32, batch)
+		s.restarts = make([]uint32, batch)
+		s.changed = make([]bool, batch)
+		s.retiredFl = make([]bool, batch)
+		s.dirty = make([]uint64, (batch+63)/64)
+		s.active = make([]int32, s.numTiles)
+		s.contStepFn = func(w, lo, hi int) {
+			sc := &s.scratch[w]
+			sum := 0.0
+			for t := lo; t < hi; t++ {
+				if nt := int(s.active[t]); nt > 0 {
+					sum += s.stepTile(sc, t*s.stile, nt)
+				}
+			}
+			s.loss[w] = sum
+		}
+	}
+	s.initRound()
+	s.track = true
+	for r := 0; r < batch; r++ {
+		s.ages[r] = 0
+		s.changed[r] = true
+		s.retiredFl[r] = false
+	}
+	for t := 0; t < s.numTiles; t++ {
+		s.active[t] = int32(s.tileCap(t))
+	}
+	for w := range s.valid {
+		s.valid[w] = 0
+	}
+	s.staleRet = 0
+	s.exhausted = false
+	s.contReady = true
+}
+
+// leaveContinuous invalidates the scheduler view (a round-mode call is
+// about to rewrite V and the packed columns wholesale).
+func (s *Sampler) leaveContinuous() {
+	s.contReady = false
+	s.track = false
+}
+
+// tileCap returns the row capacity of scheduler tile t.
+func (s *Sampler) tileCap(t int) int {
+	cap := s.stile
+	if rem := s.cfg.BatchSize - t*s.stile; rem < cap {
+		cap = rem
+	}
+	return cap
+}
+
+// sweep hardens changed lanes, re-verifies dirty words, retires satisfied
+// and stalled rows (compacting each touched tile), and refills retired
+// lanes under admission control. It returns the number of new uniques.
+func (s *Sampler) sweep(target int) int {
+	batch := s.cfg.BatchSize
+	n := s.prob.eng.numInputs
+	words := (batch + 63) / 64
+
+	// Incremental harden: only lanes whose hardened signs may have flipped
+	// (flagged by the GD update, a restart, or a compaction move) repack
+	// into the columns; their words become dirty.
+	for w := range s.dirty {
+		s.dirty[w] = 0
+	}
+	for r := 0; r < batch; r++ {
+		if !s.changed[r] {
+			continue
+		}
+		s.changed[r] = false
+		row := s.vmat.Row(r)
+		w, b := r>>6, uint(r)&63
+		bit := uint64(1) << b
+		for i := 0; i < n; i++ {
+			if row[i] > 0 {
+				s.cols[i][w] |= bit
+			} else {
+				s.cols[i][w] &^= bit
+			}
+		}
+		s.dirty[w] |= bit
+	}
+
+	// Masked verify: clean words keep their cached masks (validity is a
+	// pure function of the packed bits).
+	s.veval.VerifyMasked(s.cols, words, s.dirty, s.valid)
+	s.stats.Sweeps++
+
+	// Retire: satisfied rows harvest into the pool and recycle; unsatisfied
+	// rows age, and rows at the restart cap recycle without harvesting.
+	gained, retired := 0, 0
+	maxAge := int32(s.cfg.MaxAge)
+	for t := 0; t < s.numTiles; t++ {
+		base := t * s.stile
+		end := base + int(s.active[t])
+		nret := 0
+		for r := base; r < end; r++ {
+			if s.valid[r>>6]>>(uint(r)&63)&1 == 1 {
+				if s.recordRow(r) {
+					gained++
+				}
+				s.stats.Retired++
+				s.retiredFl[r] = true
+				nret++
+				continue
+			}
+			s.ages[r]++
+			if s.ages[r] >= maxAge {
+				s.stats.Stalled++
+				s.retiredFl[r] = true
+				nret++
+			}
+		}
+		if nret > 0 {
+			s.compactTile(t, base, end)
+		}
+		retired += nret
+	}
+	s.stats.Candidates += retired
+	s.stats.Unique = len(s.sols)
+
+	// Saturation guard: count retired-row gain, not rounds.
+	if gained > 0 {
+		s.staleRet = 0
+	} else {
+		s.staleRet += retired
+		if s.staleRet >= staleRetiresPerRow*batch && len(s.sols) > 0 {
+			s.exhausted = true
+		}
+	}
+
+	s.refill(target)
+	return gained
+}
+
+// compactTile packs the tile's surviving rows to the head so the fused
+// kernels keep a dense, branch-free row range; retired lanes collect at
+// the tail for refill. Moved rows are flagged changed — their new lanes
+// repack (and their words re-verify) on the next sweep.
+func (s *Sampler) compactTile(t, base, end int) {
+	live := base
+	for r := base; r < end; r++ {
+		if s.retiredFl[r] {
+			s.retiredFl[r] = false
+			continue
+		}
+		if live != r {
+			copy(s.vmat.Row(live), s.vmat.Row(r))
+			if s.mmat != nil {
+				copy(s.mmat.Row(live), s.mmat.Row(r))
+			}
+			s.ages[live] = s.ages[r]
+			s.changed[live] = true
+		}
+		live++
+	}
+	s.active[t] = int32(live - base)
+}
+
+// refill restarts retired lanes with fresh noise up to the admission
+// target: the full batch normally, or a shrinking active set once the
+// remaining demand is small — the continuous-batching analogue of
+// admitting no request the server can no longer serve.
+func (s *Sampler) refill(target int) {
+	batch := s.cfg.BatchSize
+	want := batch
+	switch {
+	case s.exhausted:
+		want = 0
+	case target > 0:
+		remaining := target - len(s.sols)
+		if remaining <= 0 {
+			want = 0
+		} else if remaining < batch/admissionOvercommit {
+			want = remaining * admissionOvercommit
+			if want < minActive {
+				want = minActive
+			}
+			if want > batch {
+				want = batch
+			}
+		}
+	}
+	total := s.ActiveRows()
+	for t := 0; t < s.numTiles && total < want; t++ {
+		base := t * s.stile
+		cap := s.tileCap(t)
+		for int(s.active[t]) < cap && total < want {
+			s.restartRow(base + int(s.active[t]))
+			s.active[t]++
+			total++
+		}
+	}
+}
+
+// restartRow recycles lane r: the next draw of its per-slot SplitMix64
+// restart stream fills V's row, momentum clears, the age resets, and the
+// lane is flagged for repacking, so the next sweep (which follows one GD
+// step on the fresh noise) re-verifies it.
+func (s *Sampler) restartRow(r int) {
+	s.restarts[r]++
+	state := tensor.SplitMix64(uint64(s.cfg.Seed) +
+		uint64(r)*0x9E3779B97F4A7C15 +
+		uint64(s.restarts[r])*restartStride)
+	lo, hi := -s.cfg.InitRange, s.cfg.InitRange
+	row := s.vmat.Row(r)
+	for i := range row {
+		state += tensor.DrawIncrement
+		row[i] = lo + (hi-lo)*tensor.Uniform01(tensor.SplitMix64(state))
+	}
+	if s.mmat != nil {
+		mrow := s.mmat.Row(r)
+		for i := range mrow {
+			mrow[i] = 0
+		}
+	}
+	s.ages[r] = 0
+	s.changed[r] = true
+}
+
+// stepActive runs one fused GD iteration over each tile's active rows.
+func (s *Sampler) stepActive() {
+	for w := range s.loss {
+		s.loss[w] = 0
+	}
+	s.cfg.Device.RunIndexed(s.numTiles, s.contStepFn)
+	total := 0.0
+	for _, l := range s.loss {
+		total += l
+	}
+	s.stats.FinalLoss = total + s.prob.eng.constLoss*float64(s.ActiveRows())
+	s.stats.Iterations++
+}

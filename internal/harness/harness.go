@@ -125,6 +125,7 @@ type Table2Row struct {
 	Clauses    int
 	Throughput map[string]float64 // sampler name -> unique solutions/sec
 	Unique     map[string]int     // sampler name -> solutions found
+	Calls      map[string]int     // sampler name -> scheduler ticks / rounds / solver calls
 	TimedOut   map[string]bool
 	Speedup    float64 // this-work vs best baseline
 }
@@ -153,12 +154,14 @@ func runTable2Instance(ctx context.Context, in *benchgen.Instance, opt RunOption
 		Clauses:    clauses,
 		Throughput: map[string]float64{},
 		Unique:     map[string]int{},
+		Calls:      map[string]int{},
 		TimedOut:   map[string]bool{},
 	}
 	run := func(s sampling.Sampler) {
 		st := sampleOnce(ctx, s, opt.Target, opt.Timeout)
 		row.Throughput[s.Name()] = st.Throughput()
 		row.Unique[s.Name()] = st.Unique
+		row.Calls[s.Name()] = st.Calls
 		row.TimedOut[s.Name()] = st.Timeout && st.Unique < opt.Target
 	}
 	ours, err := NewCoreSession(in.Formula, opt)
@@ -331,6 +334,76 @@ func RunFig4(ctx context.Context, instances []*benchgen.Instance, opt RunOptions
 		row.ParThroughput = measure(opt.Device)
 		if row.SeqThroughput > 0 {
 			row.Speedup = row.ParThroughput / row.SeqThroughput
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SchedRow is the scheduler ablation for one instance: the continuous-batch
+// scheduler versus the round-synchronous compatibility mode, sessions over
+// the same compiled problem with the same seed and batch.
+type SchedRow struct {
+	Instance    string
+	ContSolS    float64 // unique sol/s, continuous scheduler
+	RoundSolS   float64 // unique sol/s, round mode
+	Ratio       float64 // continuous over round
+	ContUnique  int
+	RoundUnique int
+	ContIters   int // GD iterations the continuous run spent
+	RoundIters  int // GD iterations the round run spent
+	Retired     int // rows retired satisfied (continuous)
+	Stalled     int // rows recycled at the restart cap (continuous)
+}
+
+// RunSched measures the continuous-batch scheduler against the
+// round-synchronous loop on the given instances (the PR's before/after
+// ablation, and the CI smoke check's data source). Both arms share one
+// compiled problem; Repeats > 1 keeps the best arm of each mode, damping
+// scheduler-independent noise on small instances.
+func RunSched(ctx context.Context, instances []*benchgen.Instance, repeats int, opt RunOptions) []SchedRow {
+	opt = opt.withDefaults()
+	if repeats < 1 {
+		repeats = 1
+	}
+	var rows []SchedRow
+	for _, in := range instances {
+		if ctx.Err() != nil {
+			break
+		}
+		p, err := opt.Compiler.Compile(in.Formula)
+		if err != nil {
+			continue
+		}
+		measure := func(roundMode bool, seed int64) (sampling.Stats, core.Stats) {
+			cfg := opt.sessionConfig()
+			cfg.Seed = seed
+			cfg.RoundMode = roundMode
+			s, serr := p.NewSession(cfg)
+			if serr != nil {
+				return sampling.Stats{}, core.Stats{}
+			}
+			st := sampleOnce(ctx, s, opt.Target, opt.Timeout)
+			return st, s.Core().Stats()
+		}
+		row := SchedRow{Instance: in.Name}
+		for rep := 0; rep < repeats; rep++ {
+			seed := opt.Seed + int64(rep)
+			if cst, ccore := measure(false, seed); cst.Throughput() > row.ContSolS {
+				row.ContSolS = cst.Throughput()
+				row.ContUnique = cst.Unique
+				row.ContIters = ccore.Iterations
+				row.Retired = ccore.Retired
+				row.Stalled = ccore.Stalled
+			}
+			if rst, rcore := measure(true, seed); rst.Throughput() > row.RoundSolS {
+				row.RoundSolS = rst.Throughput()
+				row.RoundUnique = rst.Unique
+				row.RoundIters = rcore.Iterations
+			}
+		}
+		if row.RoundSolS > 0 {
+			row.Ratio = row.ContSolS / row.RoundSolS
 		}
 		rows = append(rows, row)
 	}

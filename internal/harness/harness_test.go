@@ -75,6 +75,27 @@ func TestRunTable2CoreWins(t *testing.T) {
 	}
 }
 
+func TestRunSchedComparesModes(t *testing.T) {
+	ins := benchgen.SmallSuite()[:2]
+	opts := fastOpts()
+	opts.Target = 100
+	rows := RunSched(context.Background(), ins, 1, opts)
+	if len(rows) != len(ins) {
+		t.Fatalf("rows = %d want %d", len(rows), len(ins))
+	}
+	for _, r := range rows {
+		if r.ContUnique == 0 || r.RoundUnique == 0 {
+			t.Errorf("%s: a mode found nothing: %+v", r.Instance, r)
+		}
+		if r.ContSolS <= 0 || r.RoundSolS <= 0 || r.Ratio <= 0 {
+			t.Errorf("%s: throughput not measured: %+v", r.Instance, r)
+		}
+		if r.Retired == 0 {
+			t.Errorf("%s: continuous run retired nothing", r.Instance)
+		}
+	}
+}
+
 func TestRunFig2ProducesMonotonePoints(t *testing.T) {
 	pts := RunFig2(context.Background(), benchgen.SmallSuite()[:2], []int{5, 15}, fastOpts())
 	if len(pts) == 0 {

@@ -125,6 +125,20 @@ func RenderFig4(w io.Writer, rows []Fig4Row) {
 	}
 }
 
+// RenderSched writes the scheduler ablation (continuous-batch vs
+// round-synchronous sampling) as an aligned text table.
+func RenderSched(w io.Writer, rows []SchedRow) {
+	fmt.Fprintf(w, "%-22s %14s %14s %8s | %9s %9s | %9s %9s\n",
+		"Instance", "Cont (sol/s)", "Round (sol/s)", "Ratio",
+		"C-iters", "R-iters", "Retired", "Stalled")
+	fmt.Fprintln(w, strings.Repeat("-", 108))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %14s %14s %7.2fx | %9d %9d | %9d %9d\n",
+			r.Instance, humanRate(r.ContSolS), humanRate(r.RoundSolS), r.Ratio,
+			r.ContIters, r.RoundIters, r.Retired, r.Stalled)
+	}
+}
+
 func humanRate(v float64) string {
 	switch {
 	case v <= 0:

@@ -61,6 +61,14 @@ type SessionConfig struct {
 	// round the extra throughput is marginal on CPU but first-round
 	// latency grows linearly). Ignored when BatchSize is set explicitly.
 	MaxBatch int
+	// MaxAge is the continuous scheduler's restart cap, passed through to
+	// core.Config (0 takes core's default of 3×Iterations).
+	MaxAge int
+	// RoundMode drives the session with the paper's round-synchronous loop
+	// instead of the continuous-batch scheduler: solutions deliver at round
+	// barriers and the saturation guard counts zero-gain rounds. Retained
+	// as the compatibility mode and the scheduler's differential baseline.
+	RoundMode bool
 }
 
 // NewSession builds a sampling session over this problem. Sessions are
@@ -75,6 +83,8 @@ func (p *Problem) NewSession(cfg SessionConfig) (*Session, error) {
 		Device:       cfg.Device,
 		InitRange:    cfg.InitRange,
 		Momentum:     cfg.Momentum,
+		MaxAge:       cfg.MaxAge,
+		RoundMode:    cfg.RoundMode,
 	}
 	if cfg.BatchSize == 0 && cfg.MemoryBudget > 0 {
 		workers := cfg.Device.Workers()
@@ -102,7 +112,7 @@ func (p *Problem) NewSession(cfg SessionConfig) (*Session, error) {
 	if name == "" {
 		name = "this-work"
 	}
-	return &Session{prob: p, core: s, name: name}, nil
+	return &Session{prob: p, core: s, name: name, roundMode: cfg.RoundMode}, nil
 }
 
 // Session is one sampling request over a shared Problem: a core sampler
@@ -116,6 +126,7 @@ type Session struct {
 	prob      *Problem
 	core      *core.Sampler
 	name      string
+	roundMode bool
 	delivered int // solutions already handed to a sink
 	stats     Stats
 }
@@ -132,26 +143,52 @@ func (s *Session) Core() *core.Sampler { return s.core }
 // Stats returns the session's accumulated unified stats.
 func (s *Session) Stats() Stats { return s.stats }
 
-// Stream implements Sampler: it runs GD rounds until target unique
-// solutions exist (target <= 0 means unbounded), delivering each newly
-// hardened-and-verified solution to sink as a dense CNF assignment the
-// moment its round completes — no collect-all buffering between the caller
-// and the pool. Cancellation via ctx stops between rounds with all partial
-// progress retained (and already streamed).
+// Stream implements Sampler: it drives the continuous-batch scheduler
+// until target unique solutions exist (target <= 0 means unbounded),
+// delivering each solution to sink as a dense CNF assignment the moment
+// its row retires — no round barrier between the pool and the caller.
+// Cancellation via ctx stops between scheduler ticks with all partial
+// progress retained (and already streamed). SessionConfig.RoundMode
+// selects the legacy round-synchronous loop, which delivers at round
+// barriers instead.
 func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, err error) {
-	start := time.Now()
 	// Timeout/Exhausted describe how *this* call ended; a reused session
 	// must not inherit them from a previous, cancelled call.
 	s.stats.Timeout, s.stats.Exhausted = false, false
-	defer func() {
-		s.stats.Elapsed += time.Since(start)
-		st = s.finish()
-	}()
+	defer func() { st = s.finish() }()
 	// Deliver the backlog first so a reused session streams solutions a
 	// previous nil-sink call collected but never handed out.
 	if ferr := s.flush(sink); ferr != nil {
-		return st, s.sinkErr(ferr)
+		err = s.sinkErr(ferr)
+		return
 	}
+	if s.roundMode {
+		err = s.streamRounds(ctx, target, sink)
+		return
+	}
+	for target <= 0 || s.core.UniqueCount() < target {
+		if ctx.Err() != nil {
+			s.stats.Timeout = true
+			break
+		}
+		s.core.ContinuousStep(target)
+		s.stats.Calls++
+		if ferr := s.flush(sink); ferr != nil {
+			err = s.sinkErr(ferr)
+			return
+		}
+		// The scheduler's saturation guard counts retired-row gain (not
+		// rounds): once it trips, further ticks admit no fresh work.
+		if s.core.Exhausted() {
+			s.stats.Exhausted = true
+			break
+		}
+	}
+	return
+}
+
+// streamRounds is the round-mode Stream loop (SessionConfig.RoundMode).
+func (s *Session) streamRounds(ctx context.Context, target int, sink Sink) error {
 	stale := 0
 	for target <= 0 || s.core.UniqueCount() < target {
 		if ctx.Err() != nil {
@@ -161,9 +198,9 @@ func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, 
 		gained := s.core.Round()
 		s.stats.Calls++
 		if ferr := s.flush(sink); ferr != nil {
-			return st, s.sinkErr(ferr)
+			return s.sinkErr(ferr)
 		}
-		// Saturation guard (mirrors core.Sampler.SampleUntil): rounds are
+		// Saturation guard (mirrors core's round mode): rounds are
 		// independent restarts, so a long run of zero-gain rounds means
 		// the reachable solution set is exhausted.
 		if gained == 0 {
@@ -176,7 +213,7 @@ func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, 
 			stale = 0
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // flush streams solutions discovered since the last flush. Each delivery
@@ -197,8 +234,14 @@ func (s *Session) flush(sink Sink) error {
 }
 
 // finish refreshes the snapshot fields derived from the core sampler.
+// Elapsed is read from the core sampler's own monotonic accounting — the
+// one clock both the streaming and blocking paths thread their work
+// through — so Throughput reports solutions per second of *sampling* time.
+// Wall time a consumer spends inside its sink (writing files, blocking on
+// a full channel) does not dilute the reported rate.
 func (s *Session) finish() Stats {
 	s.stats.Unique = s.core.UniqueCount()
+	s.stats.Elapsed = s.core.Stats().Elapsed
 	return s.stats
 }
 

@@ -526,6 +526,93 @@ func TestStreamTimeoutNotStickyAcrossCalls(t *testing.T) {
 	}
 }
 
+// TestStreamElapsedExcludesSinkTime: Stats.Elapsed must come from the one
+// monotonic clock the core sampler threads through both the blocking and
+// streaming paths — time a consumer burns inside its sink must not count
+// as sampling time, or Session.Stream consumers see misleading sol/s.
+func TestStreamElapsedExcludesSinkTime(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(sessionCfg(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		perSink   = 40 * time.Millisecond
+		solutions = 5
+	)
+	start := time.Now()
+	st, err := s.Stream(context.Background(), solutions, func(sol []bool) error {
+		time.Sleep(perSink)
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unique < solutions {
+		t.Fatalf("unique = %d want >= %d", st.Unique, solutions)
+	}
+	sinkTime := time.Duration(st.Unique) * perSink
+	if wall < sinkTime {
+		t.Fatalf("wall %v below total sink time %v — clock broken", wall, sinkTime)
+	}
+	// Sampling this tiny instance takes well under one sink sleep; any
+	// Elapsed at or above the sink total means consumer time leaked in.
+	if st.Elapsed >= sinkTime {
+		t.Errorf("Elapsed %v includes sink time (sink total %v, wall %v)", st.Elapsed, sinkTime, wall)
+	}
+	if st.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	// The blocking wrapper reads the same clock.
+	st2 := s.SampleUntil(st.Unique+5, 5*time.Second)
+	if st2.Elapsed < st.Elapsed {
+		t.Errorf("Elapsed went backwards across calls: %v -> %v", st.Elapsed, st2.Elapsed)
+	}
+}
+
+// TestSessionRoundModeCompat: the legacy round-synchronous loop stays
+// available behind SessionConfig.RoundMode and streams only at round
+// barriers — Calls counts rounds, and every delivered solution verifies.
+func TestSessionRoundModeCompat(t *testing.T) {
+	in := benchgen.SmallSuite()[0]
+	p, err := CompileProblem(in.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sessionCfg(31)
+	cfg.RoundMode = true
+	s, err := p.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed [][]bool
+	st, err := s.Stream(context.Background(), 20, func(sol []bool) error {
+		streamed = append(streamed, sol)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unique < 20 || len(streamed) != st.Unique {
+		t.Fatalf("round-mode stream delivered %d of %d", len(streamed), st.Unique)
+	}
+	for i, sol := range streamed {
+		if !in.Formula.Sat(sol) {
+			t.Fatalf("round-mode solution %d invalid", i)
+		}
+	}
+	// Round mode hardens once per Iterations GD steps: a continuous
+	// session with the same budget must not need more iterations per call.
+	if st.Calls == 0 {
+		t.Error("round-mode Calls not counted")
+	}
+}
+
 func TestWrapTerminatesOnExhaustionWithoutDeadline(t *testing.T) {
 	// A single-solution formula (x3 = x1 AND x2, constrained true) with an
 	// unreachable target and NO context deadline: the wrapper's cross-slice

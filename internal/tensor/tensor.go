@@ -124,30 +124,45 @@ func (m *Matrix) Fill(v float32) {
 // 607-word lagged-Fibonacci state), which dominated whole GD rounds on
 // fast-converging instances, while SplitMix64 is two multiplies per draw.
 func (m *Matrix) Randomize(d Device, seed int64, lo, hi float32) {
-	mix := func(x uint64) uint64 {
-		x ^= x >> 30
-		x *= 0xBF58476D1CE4E5B9
-		x ^= x >> 27
-		x *= 0x94D049BB133111EB
-		x ^= x >> 31
-		return x
-	}
 	d.Run(m.Rows, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			// Scramble the row base through the finalizer and advance with
 			// a different odd constant than the row stride: if the two were
 			// equal, element (r, i) would depend only on r+i and every row
 			// would be its neighbor shifted by one column.
-			state := mix(uint64(seed) + uint64(r)*0x9E3779B97F4A7C15)
+			state := SplitMix64(uint64(seed) + uint64(r)*0x9E3779B97F4A7C15)
 			row := m.Row(r)
 			for i := range row {
-				state += 0xD1B54A32D192ED03
-				x := mix(state)
-				// Top 24 bits → uniform float32 in [0, 1).
-				row[i] = lo + (hi-lo)*(float32(x>>40)*(1.0/(1<<24)))
+				state += DrawIncrement
+				row[i] = lo + (hi-lo)*Uniform01(SplitMix64(state))
 			}
 		}
 	})
+}
+
+// SplitMix64 is the SplitMix64 finalizer — the one scrambling function
+// behind Randomize's per-row streams and the core scheduler's per-slot
+// restart streams (bitblast.Hash64 folds the same constants into its
+// running hash). Both stream families must draw through this helper so
+// their float sequences cannot drift apart silently.
+func SplitMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// DrawIncrement is the odd stream-advance constant paired with SplitMix64
+// draws; it is deliberately distinct from the golden-ratio row stride (see
+// Randomize).
+const DrawIncrement = 0xD1B54A32D192ED03
+
+// Uniform01 maps a scrambled 64-bit word to a uniform float32 in [0, 1)
+// using its top 24 bits.
+func Uniform01(x uint64) float32 {
+	return float32(x>>40) * (1.0 / (1 << 24))
 }
 
 // Sigmoid computes dst = 1/(1+exp(-src)) elementwise, striped by rows.
