@@ -7,6 +7,7 @@
 //	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
 //	paperbench -exp engine            # compiled-engine shape: fusion, registers, memory
 //	paperbench -exp sched             # continuous-batch scheduler vs round mode
+//	paperbench -exp serve             # satserved load generator: p50/p99 latency, sol/s vs clients
 //	paperbench -exp all               # everything
 //
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
@@ -54,6 +55,7 @@ type report struct {
 	GoArch  string                 `json:"goarch"`
 	Table2  []harness.Table2Row    `json:"table2,omitempty"`
 	Sched   []harness.SchedRow     `json:"sched,omitempty"`
+	Serve   []ServeRow             `json:"serve,omitempty"`
 	Fig2    []harness.Fig2Point    `json:"fig2,omitempty"`
 	Fig4    []harness.Fig4Row      `json:"fig4,omitempty"`
 	Cache   sampling.CompilerStats `json:"cache"`
@@ -61,7 +63,7 @@ type report struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | all")
+		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | serve | all")
 		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -69,6 +71,7 @@ func main() {
 		small      = flag.Bool("small", false, "use the fast 4-instance smoke suite")
 		jsonPath   = flag.String("json", "", "write machine-readable results to this file")
 		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
+		maxCNF     = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
 	)
 	flag.Parse()
 
@@ -104,7 +107,7 @@ func main() {
 		GoArch:  runtime.GOARCH,
 	}
 
-	schedOK := true
+	schedOK, serveOK := true, true
 	switch *exp {
 	case "table2":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
@@ -118,6 +121,8 @@ func main() {
 		runEngine(ctx, figSet(), compiler, dev)
 	case "sched":
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
+	case "serve":
+		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 	case "all":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
 		fmt.Println()
@@ -128,6 +133,8 @@ func main() {
 		rep.Fig4 = runFig4(ctx, figSet(), opt)
 		fmt.Println()
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
+		fmt.Println()
+		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 		fmt.Println()
 		runEngine(ctx, figSet(), compiler, dev)
 	default:
@@ -148,6 +155,10 @@ func main() {
 	}
 	if !schedOK {
 		fmt.Fprintln(os.Stderr, "paperbench: scheduler check FAILED — continuous mode slower than round mode")
+		os.Exit(1)
+	}
+	if !serveOK {
+		fmt.Fprintln(os.Stderr, "paperbench: serve check FAILED — load generator completed no successful requests or saw errors")
 		os.Exit(1)
 	}
 }

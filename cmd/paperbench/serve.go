@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/cnf"
+	"repro/internal/sampling"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+// ServeRow is one load-generator measurement: a concurrency level against
+// the in-process satserved instance.
+type ServeRow struct {
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"` // completed 200s
+	Shed      int     `json:"shed"`     // 429s observed
+	Errors    int     `json:"errors"`   // failed requests (transport or unexpected status)
+	P50MS     float64 `json:"p50_ms"`   // request latency, median
+	P99MS     float64 `json:"p99_ms"`   // request latency, 99th percentile
+	SolPerSec float64 `json:"sol_per_sec"`
+	Solutions int     `json:"solutions"` // aggregate across requests
+}
+
+// runServe is the `-exp serve` load generator: it starts satserved
+// in-process on a loopback port (sharing the run's compiler, so the
+// cache counters in the report cover it) and sweeps concurrency levels
+// over the small suite, measuring per-request latency (p50/p99) and
+// aggregate verified-solution throughput — the service-level view of the
+// same amortization Table II measures per instance. ok is false when the
+// sweep proved nothing (server failed to start, zero successful requests,
+// or request errors) so CI cannot pass with a broken service.
+func runServe(ctx context.Context, compiler *sampling.Compiler, dev tensor.Device,
+	target int, maxCNF int64) (rows []ServeRow, ok bool) {
+	fmt.Printf("== Serve: satserved load generator (target %d per request) ==\n\n", target)
+
+	srv := server.New(server.Config{
+		Compiler: compiler,
+		Device:   dev,
+		Workers:  4,
+		Limits:   cnf.LimitsForBytes(maxCNF),
+		// Per-request logs would swamp the bench tables; the measurements
+		// below are the observable output here.
+		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: serve:", err)
+		return nil, false
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	ins := benchgen.SmallSuite()
+	bodies := make([]string, len(ins))
+	for i, in := range ins {
+		bodies[i] = in.Formula.DIMACSString()
+	}
+
+	const requestsPerClient = 4
+	levels := []int{1, 2, 4, 8, 16}
+	rows = make([]ServeRow, 0, len(levels))
+	totalOK, totalErr := 0, 0
+	fmt.Printf("%8s %10s %6s %6s %10s %10s %12s\n", "clients", "requests", "shed", "errors", "p50 ms", "p99 ms", "sol/s")
+	for _, clients := range levels {
+		if ctx.Err() != nil {
+			break
+		}
+		row := serveLevel(ctx, base, bodies, clients, requestsPerClient, target)
+		rows = append(rows, row)
+		totalOK += row.Requests
+		totalErr += row.Errors
+		fmt.Printf("%8d %10d %6d %6d %10.2f %10.2f %12.0f\n",
+			row.Clients, row.Requests, row.Shed, row.Errors, row.P50MS, row.P99MS, row.SolPerSec)
+	}
+	// An interrupted sweep is not a failure; an uninterrupted one that
+	// completed no request, or errored, is.
+	if ctx.Err() != nil {
+		return rows, true
+	}
+	if totalOK == 0 || totalErr > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: serve: %d successful requests, %d errors\n", totalOK, totalErr)
+		return rows, false
+	}
+	return rows, true
+}
+
+// serveLevel runs one concurrency level: `clients` goroutines, each
+// issuing sequential requests round-robin over the formulas.
+func serveLevel(ctx context.Context, base string, bodies []string, clients, perClient, target int) ServeRow {
+	row := ServeRow{Clients: clients}
+	var mu sync.Mutex
+	var lats []time.Duration
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				body := bodies[(c+i)%len(bodies)]
+				t0 := time.Now()
+				sols, status, err := serveRequest(ctx, base, body, target)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					// Cancellation mid-run drops the sample; anything else
+					// is a real failure and must fail the sweep.
+					if ctx.Err() == nil {
+						row.Errors++
+						fmt.Fprintln(os.Stderr, "paperbench: serve request:", err)
+					}
+				case status == http.StatusTooManyRequests:
+					row.Shed++
+				case status == http.StatusOK:
+					row.Requests++
+					row.Solutions += sols
+					lats = append(lats, lat)
+				default:
+					row.Errors++
+					fmt.Fprintf(os.Stderr, "paperbench: serve request: unexpected status %d\n", status)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if wall > 0 {
+		row.SolPerSec = float64(row.Solutions) / wall.Seconds()
+	}
+	row.P50MS, row.P99MS = percentiles(lats)
+	return row
+}
+
+// serveRequest issues one sampling request and counts streamed solutions.
+func serveRequest(ctx context.Context, base, body string, target int) (sols, status int, err error) {
+	url := fmt.Sprintf("%s/v1/sample?target=%d&timeout=10s", base, target)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, resp.StatusCode, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var ln struct {
+		Type string `json:"type"`
+	}
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return sols, resp.StatusCode, err
+		}
+		if ln.Type == "solution" {
+			sols++
+		}
+	}
+	return sols, resp.StatusCode, sc.Err()
+}
+
+func percentiles(lats []time.Duration) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1e3
+	}
+	return at(0.50), at(0.99)
+}

@@ -6,7 +6,7 @@
 //
 //	satsample -in formula.cnf [-n 1000] [-timeout 30s] [-sampler gd]
 //	          [-batch 4096] [-iters 5] [-lr 10] [-seed 1] [-workers 0]
-//	          [-v] [-out solutions.txt]
+//	          [-v] [-out solutions.txt] [-maxcnf 67108864]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Samplers: gd (this work), diff, cmsgen, unigen.
@@ -62,6 +62,7 @@ func run() (err error) {
 		outPath = flag.String("out", "", "write solutions to file instead of stdout")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sampling loop to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		maxCNF  = flag.Int64("maxcnf", 64<<20, "maximum DIMACS input bytes; var/clause/literal limits derive from it (0 = unlimited)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -69,7 +70,10 @@ func run() (err error) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, rerr := cnf.ReadDIMACSFile(*inPath)
+	// The same derived-limit validation path satserved applies to network
+	// input (cnf.LimitsForBytes), so every entry point rejects oversized
+	// or degenerate formulas identically.
+	f, rerr := cnf.ReadDIMACSFileLimits(*inPath, cnf.LimitsForBytes(*maxCNF))
 	if rerr != nil {
 		return rerr
 	}

@@ -1,0 +1,150 @@
+// Command satserved serves the gradient-descent SAT sampler over HTTP:
+// clients POST a DIMACS CNF (or a cached problem key) and receive verified
+// solutions as an NDJSON stream. See internal/server for the service
+// semantics (weighted-fair queueing, admission control, drain).
+//
+// Usage:
+//
+//	satserved [-addr :8080] [-workers 4] [-queue 64] [-cache 64]
+//	          [-cachebudget 256] [-membudget 512] [-sessionmem 64]
+//	          [-maxtarget 100000] [-maxtimeout 2m] [-maxcnf 8388608]
+//	          [-draingrace 5s] [-logjson] [-portfile path]
+//
+// Endpoints:
+//
+//	POST /v1/sample?target=N&timeout=30s&tenant=T&weight=W   body: DIMACS
+//	POST /v1/sample?key=HEX&...                              cached problem
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM start a graceful drain: new submissions get 503, running
+// streams finish (or are cancelled after -draingrace and flush partial
+// results), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sampling"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "satserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers     = flag.Int("workers", 4, "concurrent streaming sessions")
+		queueDepth  = flag.Int("queue", 64, "bounded wait-queue depth")
+		cacheCap    = flag.Int("cache", 0, "compile-cache capacity in entries (0 = default)")
+		cacheBudget = flag.Int64("cachebudget", 256, "compile-cache resident-byte budget (MiB; 0 = entry bound only)")
+		memBudget   = flag.Int64("membudget", 512, "aggregate session memory budget (MiB)")
+		sessionMem  = flag.Int64("sessionmem", 64, "per-session memory budget for batch sizing (MiB)")
+		maxTarget   = flag.Int("maxtarget", 100000, "maximum per-request solution target (target=0 requests get exactly this cap)")
+		maxTimeout  = flag.Duration("maxtimeout", 2*time.Minute, "maximum per-request deadline")
+		maxCNF      = flag.Int64("maxcnf", 8<<20, "maximum DIMACS input bytes (shape limits derive from it; 0 = the service default limits — a network server never parses unbounded input)")
+		drainGrace  = flag.Duration("draingrace", 5*time.Second, "how long in-flight streams may run after SIGTERM")
+		devWorkers  = flag.Int("devworkers", 0, "GD device workers (0 = all CPUs, 1 = sequential)")
+		seed        = flag.Int64("seed", 1, "base seed for per-request sessions")
+		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON")
+		portFile    = flag.String("portfile", "", "write the bound address to this file once listening")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	dev := tensor.Parallel()
+	if *devWorkers == 1 {
+		dev = tensor.Sequential()
+	} else if *devWorkers > 1 {
+		dev = tensor.ParallelN(*devWorkers)
+	}
+
+	srv := server.New(server.Config{
+		Compiler:      sampling.NewCompilerBudget(*cacheCap, *cacheBudget<<20),
+		Device:        dev,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		MemoryBudget:  *memBudget << 20,
+		SessionMemory: *sessionMem << 20,
+		MaxTarget:     *maxTarget,
+		MaxTimeout:    *maxTimeout,
+		Limits:        cnf.LimitsForBytes(*maxCNF),
+		DrainGrace:    *drainGrace,
+		Seed:          *seed,
+		Log:           log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	// ReadHeaderTimeout/ReadTimeout bound slow-sending clients (headers or
+	// trickled bodies hold a goroutine the admission gates never see);
+	// WriteTimeout stays zero because sampling streams are long-lived by
+	// design — their lifetime is bounded per request by -maxtimeout.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Info("listening", "addr", bound, "workers", *workers,
+		"queue", *queueDepth, "membudget_mib", *memBudget)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Info("signal received, draining", "signal", sig.String())
+	case err := <-errCh:
+		return err
+	}
+
+	// Drain: reject new work now, cancel in-flight streams after the
+	// grace, and wait for every handler (partial results flush before the
+	// connections close). Shutdown's own deadline is a last resort well
+	// past the grace.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("drained, exiting")
+	return nil
+}

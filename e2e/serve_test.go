@@ -1,0 +1,269 @@
+// Package e2e holds end-to-end smoke tests that exercise the real
+// binaries over real sockets and signals — the layer in-process tests
+// cannot cover (SIGTERM drain, process exit codes).
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// smallCNF is the formula both clients sample: 20 two-literal clauses over
+// 40 variables, 3^20 models — trivially compiled, effectively
+// inexhaustible, and every streamed assignment is checkable with cnf.Sat.
+func smallCNF() *cnf.Formula {
+	f := cnf.New(0)
+	for i := 0; i < 20; i++ {
+		f.AddClause(cnf.Lit(2*i+1), cnf.Lit(2*i+2))
+	}
+	return f
+}
+
+type line struct {
+	Type       string `json:"type"`
+	Key        string `json:"key"`
+	Assignment string `json:"assignment"`
+	Unique     int    `json:"unique"`
+	Delivered  int    `json:"delivered"`
+	Timeout    bool   `json:"timeout"`
+	Drained    bool   `json:"drained"`
+}
+
+// TestServeE2E builds satserved, starts it, streams from two concurrent
+// clients (verifying every solution against the CNF), checks /metrics,
+// then SIGTERMs the process mid-stream and asserts the drain returns
+// partial results and exit code 0.
+func TestServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "satserved")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/satserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building satserved: %v", err)
+	}
+
+	portFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-portfile", portFile,
+		"-workers", "2",
+		"-draingrace", "300ms",
+		"-devworkers", "2",
+		// target=0 means "up to -maxtarget"; keep the cap high enough
+		// that the drain, not natural completion, ends the stream.
+		"-maxtarget", "1000000",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan struct{})
+	var exitErr error
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("satserved never wrote its port file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Two concurrent clients sample the same formula; every streamed
+	// solution must satisfy the CNF.
+	f := smallCNF()
+	dimacs := f.DIMACSString()
+	const target = 25
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/sample?target=%d&tenant=client%d", base, target, c)
+			resp, err := http.Post(url, "text/plain", strings.NewReader(dimacs))
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+				return
+			}
+			sols, done := readStream(t, resp.Body)
+			if done == nil {
+				t.Errorf("client %d: no done line", c)
+				return
+			}
+			if done.Delivered != target || len(sols) != target {
+				t.Errorf("client %d: delivered %d/%d solutions, want %d", c, done.Delivered, len(sols), target)
+			}
+			for _, sol := range sols {
+				if !verifies(f, sol) {
+					t.Errorf("client %d: unsatisfying assignment %q", c, sol)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Metrics reflect the two requests (one compile, one cache hit).
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mbody)
+	for _, want := range []string{
+		fmt.Sprintf("satserved_solutions_total %d", 2*target),
+		"satserved_compiler_misses_total 1",
+		"satserved_compiler_hits_total 1",
+		`satserved_requests_total{outcome="ok"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	// Open an unbounded stream, read a few solutions, then SIGTERM: the
+	// drain must end the stream with a done line carrying the partial
+	// results, and the process must exit 0.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/sample?target=0&timeout=25s", strings.NewReader(dimacs))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbounded stream: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	read := 0
+	for read < 4 && sc.Scan() { // meta + 3 solutions
+		read++
+	}
+	if read < 4 {
+		t.Fatalf("unbounded stream stalled after %d lines: %v", read, sc.Err())
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var done *line
+	sols := 3
+	for sc.Scan() {
+		var ln line
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad drain line %q: %v", sc.Text(), err)
+		}
+		switch ln.Type {
+		case "solution":
+			sols++
+		case "done":
+			d := ln
+			done = &d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broke during drain (no flush?): %v", err)
+	}
+	if done == nil {
+		t.Fatal("drained stream ended without a done line")
+	}
+	if !done.Drained {
+		t.Errorf("done line not marked drained: %+v", done)
+	}
+	if done.Delivered < 3 || done.Delivered != sols {
+		t.Errorf("partial results: delivered=%d, read %d solutions", done.Delivered, sols)
+	}
+
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("satserved exited non-zero after SIGTERM: %v", exitErr)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("satserved did not exit after SIGTERM")
+	}
+}
+
+func readStream(t *testing.T, body io.Reader) (sols []string, done *line) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		var ln line
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		switch ln.Type {
+		case "solution":
+			sols = append(sols, ln.Assignment)
+		case "done":
+			d := ln
+			done = &d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return sols, done
+}
+
+func verifies(f *cnf.Formula, assignment string) bool {
+	if len(assignment) != f.NumVars {
+		return false
+	}
+	bits := make([]bool, len(assignment))
+	for i, c := range assignment {
+		bits[i] = c == '1'
+	}
+	return f.Sat(bits)
+}

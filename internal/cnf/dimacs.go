@@ -2,12 +2,104 @@ package cnf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// ErrLimit marks a parse failure caused by a ParseLimits bound rather than
+// malformed input. Callers serving untrusted input can map it to a
+// "payload too large" response while treating other parse errors as
+// malformed requests: errors.Is(err, cnf.ErrLimit).
+var ErrLimit = errors.New("input exceeds parse limit")
+
+// ParseLimits bounds what ParseDIMACSLimits will accept from untrusted
+// input. A zero field means "no bound on that dimension"; the zero value
+// accepts anything (and is what plain ParseDIMACS uses). The limits bound
+// both the raw input size and the parsed shape, so a tiny input cannot
+// declare a huge formula ("p cnf 1000000000 1") and force large
+// allocations downstream.
+type ParseLimits struct {
+	MaxBytes    int64 // raw input bytes read
+	MaxVars     int   // highest variable index (declared or used)
+	MaxClauses  int   // clauses parsed
+	MaxLiterals int   // total literals across all clauses
+}
+
+// DefaultParseLimits are the service-grade bounds used by satserved for
+// untrusted network input: generous for real benchmark formulas, far below
+// anything that could exhaust memory in the parser or the compile pipeline
+// behind it.
+func DefaultParseLimits() ParseLimits {
+	return ParseLimits{
+		MaxBytes:    8 << 20,  // 8 MiB of DIMACS text
+		MaxVars:     1 << 20,  // 1M variables
+		MaxClauses:  2 << 20,  // 2M clauses
+		MaxLiterals: 16 << 20, // 16M literals
+	}
+}
+
+// LimitsForBytes derives ParseLimits from a single byte budget — the shared
+// input-validation path behind the CLIs' -maxcnf flag. The shape bounds
+// follow from DIMACS density: a literal costs at least two bytes ("1 "), a
+// clause at least four ("1 0\n"), and a variable index must be declared or
+// used, so none of them can exceed the byte budget's carrying capacity.
+// maxBytes <= 0 returns the unlimited zero value.
+func LimitsForBytes(maxBytes int64) ParseLimits {
+	if maxBytes <= 0 {
+		return ParseLimits{}
+	}
+	capInt := func(v int64) int {
+		const maxInt = int64(^uint(0) >> 1)
+		if v > maxInt {
+			return int(maxInt)
+		}
+		return int(v)
+	}
+	return ParseLimits{
+		MaxBytes:    maxBytes,
+		MaxVars:     capInt(maxBytes / 2),
+		MaxClauses:  capInt(maxBytes / 4),
+		MaxLiterals: capInt(maxBytes / 2),
+	}
+}
+
+func limitErr(what string, limit int64) error {
+	return fmt.Errorf("cnf: %s exceeds limit %d: %w", what, limit, ErrLimit)
+}
+
+// limitedReader fails (rather than silently truncating, as io.LimitedReader
+// would) once more than max bytes have been read. It reads at most one byte
+// past the limit, so an input of exactly max bytes parses cleanly while a
+// longer one errors as soon as the overflow byte appears.
+type limitedReader struct {
+	r    io.Reader
+	read int64
+	max  int64
+}
+
+func (lr *limitedReader) Read(p []byte) (int, error) {
+	if lr.read > lr.max {
+		return 0, limitErr("input size", lr.max)
+	}
+	// lr.max+1 would overflow at MaxInt64; a limit that large can never
+	// be exceeded, so the truncation is simply skipped.
+	if lr.max < math.MaxInt64 {
+		if allow := lr.max + 1 - lr.read; int64(len(p)) > allow {
+			p = p[:allow]
+		}
+	}
+	n, err := lr.r.Read(p)
+	lr.read += int64(n)
+	if lr.read > lr.max {
+		return n, limitErr("input size", lr.max)
+	}
+	return n, err
+}
 
 // ParseDIMACS reads a CNF in DIMACS format. Comment lines ("c ...") are
 // ignored; the problem line ("p cnf <vars> <clauses>") is optional but, when
@@ -15,12 +107,39 @@ import (
 // fewer clauses only produce an error when strict problem-line accounting
 // is violated by a trailing junk token).
 func ParseDIMACS(r io.Reader) (*Formula, error) {
+	return ParseDIMACSLimits(r, ParseLimits{})
+}
+
+// ParseDIMACSLimits parses DIMACS input while enforcing lim — the
+// untrusted-input entry point. Violations return an error satisfying
+// errors.Is(err, ErrLimit); limits are checked as the input streams, so a
+// hostile input is rejected after at most lim.MaxBytes bytes of work.
+func ParseDIMACSLimits(r io.Reader, lim ParseLimits) (f *Formula, err error) {
+	var lr *limitedReader
+	if lim.MaxBytes > 0 {
+		lr = &limitedReader{r: r, max: lim.MaxBytes}
+		r = lr
+		// An input cut off at the byte limit can fail as a malformed
+		// partial line before the scanner surfaces the reader's error;
+		// the limit, not the truncation artifact, is the real cause.
+		defer func() {
+			if err != nil && !errors.Is(err, ErrLimit) && lr.read > lr.max {
+				f, err = nil, limitErr("input size", lr.max)
+			}
+		}()
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	f := &Formula{}
+	f = &Formula{}
 	declaredVars := -1
 	var cur Clause
-	line := 0
+	line, lits := 0, 0
+	checkVar := func(v int) error {
+		if lim.MaxVars > 0 && v > lim.MaxVars {
+			return limitErr("variable count", int64(lim.MaxVars))
+		}
+		return nil
+	}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -39,6 +158,9 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 			if _, err := strconv.Atoi(fields[3]); err != nil {
 				return nil, fmt.Errorf("cnf: bad clause count on line %d: %q", line, text)
 			}
+			if err := checkVar(nv); err != nil {
+				return nil, err
+			}
 			declaredVars = nv
 			continue
 		}
@@ -48,14 +170,27 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				return nil, fmt.Errorf("cnf: bad token %q on line %d", tok, line)
 			}
 			if n == 0 {
+				if lim.MaxClauses > 0 && len(f.Clauses) >= lim.MaxClauses {
+					return nil, limitErr("clause count", int64(lim.MaxClauses))
+				}
 				f.AddClause(cur...)
 				cur = cur[:0]
 				continue
+			}
+			if err := checkVar(Lit(n).Var()); err != nil {
+				return nil, err
+			}
+			lits++
+			if lim.MaxLiterals > 0 && lits > lim.MaxLiterals {
+				return nil, limitErr("literal count", int64(lim.MaxLiterals))
 			}
 			cur = append(cur, Lit(n))
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, ErrLimit) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("cnf: read: %w", err)
 	}
 	if len(cur) != 0 {
@@ -74,12 +209,18 @@ func ParseDIMACSString(s string) (*Formula, error) {
 
 // ReadDIMACSFile parses a DIMACS CNF file from disk.
 func ReadDIMACSFile(path string) (*Formula, error) {
+	return ReadDIMACSFileLimits(path, ParseLimits{})
+}
+
+// ReadDIMACSFileLimits parses a DIMACS CNF file while enforcing lim — the
+// path the CLIs' -maxcnf flag goes through.
+func ReadDIMACSFileLimits(path string, lim ParseLimits) (*Formula, error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer fh.Close()
-	return ParseDIMACS(fh)
+	return ParseDIMACSLimits(fh, lim)
 }
 
 // WriteDIMACS writes the formula in DIMACS format, with an optional list of

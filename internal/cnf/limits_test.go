@@ -1,0 +1,104 @@
+package cnf
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLimitsAccept(t *testing.T) {
+	in := "c comment\np cnf 4 2\n1 -2 0\n3 4 -1 0\n"
+	lim := ParseLimits{MaxBytes: int64(len(in)), MaxVars: 4, MaxClauses: 2, MaxLiterals: 5}
+	f, err := ParseDIMACSLimits(strings.NewReader(in), lim)
+	if err != nil {
+		t.Fatalf("parse at exactly the limits: %v", err)
+	}
+	if f.NumVars != 4 || len(f.Clauses) != 2 {
+		t.Fatalf("got vars=%d clauses=%d", f.NumVars, len(f.Clauses))
+	}
+}
+
+func TestParseLimitsReject(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		lim  ParseLimits
+	}{
+		{"bytes", "p cnf 2 1\n1 -2 0\n", ParseLimits{MaxBytes: 8}},
+		{"declared vars", "p cnf 1000000 0\n", ParseLimits{MaxVars: 100}},
+		{"used vars", "99 0\n", ParseLimits{MaxVars: 10}},
+		{"clauses", "1 0\n2 0\n3 0\n", ParseLimits{MaxClauses: 2}},
+		{"literals", "1 2 3 4 0\n", ParseLimits{MaxLiterals: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDIMACSLimits(strings.NewReader(tc.in), tc.lim)
+			if err == nil {
+				t.Fatal("expected a limit error, got nil")
+			}
+			if !errors.Is(err, ErrLimit) {
+				t.Fatalf("error %v is not ErrLimit", err)
+			}
+		})
+	}
+}
+
+func TestParseLimitsMaxInt64Bytes(t *testing.T) {
+	// MaxBytes at the int64 ceiling must not overflow the reader's
+	// one-byte-past-the-limit arithmetic (regression: lr.max+1 wrapped).
+	in := "p cnf 2 1\n1 -2 0\n"
+	f, err := ParseDIMACSLimits(strings.NewReader(in), ParseLimits{MaxBytes: math.MaxInt64})
+	if err != nil {
+		t.Fatalf("MaxInt64 byte limit: %v", err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 1 {
+		t.Fatalf("got vars=%d clauses=%d", f.NumVars, len(f.Clauses))
+	}
+}
+
+func TestParseLimitsMalformedIsNotErrLimit(t *testing.T) {
+	_, err := ParseDIMACSLimits(strings.NewReader("1 banana 0\n"), DefaultParseLimits())
+	if err == nil || errors.Is(err, ErrLimit) {
+		t.Fatalf("malformed input must fail without ErrLimit, got %v", err)
+	}
+}
+
+func TestLimitsForBytes(t *testing.T) {
+	if got := LimitsForBytes(0); got != (ParseLimits{}) {
+		t.Fatalf("LimitsForBytes(0) = %+v, want unlimited zero value", got)
+	}
+	lim := LimitsForBytes(1 << 20)
+	if lim.MaxBytes != 1<<20 || lim.MaxVars != 1<<19 || lim.MaxClauses != 1<<18 || lim.MaxLiterals != 1<<19 {
+		t.Fatalf("LimitsForBytes(1MiB) = %+v", lim)
+	}
+	// The derived shape caps must admit any formula whose DIMACS text fits
+	// the byte budget (density argument: >= 2 bytes per literal, >= 4 per
+	// clause), so -maxcnf never rejects a file smaller than its value for
+	// shape reasons.
+	in := "p cnf 3 2\n1 2 0\n-3 0\n"
+	if _, err := ParseDIMACSLimits(strings.NewReader(in), LimitsForBytes(int64(len(in)))); err != nil {
+		t.Fatalf("formula within its own byte budget rejected: %v", err)
+	}
+}
+
+func TestReadDIMACSFileLimits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.cnf")
+	f := New(3)
+	f.AddClause(1, -2)
+	f.AddClause(3)
+	if err := f.WriteDIMACSFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadDIMACSFileLimits(path, DefaultParseLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != 3 || len(g.Clauses) != 2 {
+		t.Fatalf("round trip: vars=%d clauses=%d", g.NumVars, len(g.Clauses))
+	}
+	if _, err := ReadDIMACSFileLimits(path, ParseLimits{MaxBytes: 4}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("tiny byte limit: got %v, want ErrLimit", err)
+	}
+}

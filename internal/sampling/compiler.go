@@ -35,12 +35,17 @@ func HashFormula(f *cnf.Formula) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// CompilerStats snapshots the cache counters.
+// CompilerStats snapshots the cache counters. The snapshot is taken under
+// one lock acquisition, so its fields are mutually consistent even while
+// concurrent Compile calls run: ResidentBytes is exactly the sum over the
+// Entries whose compile has completed (in-flight entries contribute zero
+// until their artifact exists).
 type CompilerStats struct {
-	Hits      int64 // Compile calls served from cache (or an in-flight compile)
-	Misses    int64 // Compile calls that ran extract.Transform + core.Compile
-	Evictions int64 // entries dropped by the LRU policy
-	Entries   int   // problems currently cached (including in-flight)
+	Hits          int64 // Compile calls served from cache (or an in-flight compile)
+	Misses        int64 // Compile calls that ran extract.Transform + core.Compile
+	Evictions     int64 // entries dropped by the LRU policy
+	Entries       int   // problems currently cached (including in-flight)
+	ResidentBytes int64 // approximate bytes held by completed cached problems
 }
 
 // DefaultCacheCapacity is the Compiler's LRU capacity when none is given.
@@ -52,13 +57,15 @@ const DefaultCacheCapacity = 64
 // artifact (single flight), so a traffic burst on a new instance costs one
 // compile, not one per request. Compiler is safe for concurrent use.
 type Compiler struct {
-	mu        sync.Mutex
-	capacity  int
-	lru       *list.List // MRU at front; element values are *cacheEntry
-	byKey     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	mu         sync.Mutex
+	capacity   int
+	byteBudget int64      // 0 = entry-count bound only
+	lru        *list.List // MRU at front; element values are *cacheEntry
+	byKey      map[string]*list.Element
+	hits       int64
+	misses     int64
+	evictions  int64
+	resident   int64 // sum of bytes over completed cached entries
 }
 
 // cacheEntry is one cached (possibly in-flight) compilation. ready is
@@ -69,19 +76,70 @@ type cacheEntry struct {
 	ready chan struct{}
 	prob  *Problem
 	err   error
+	bytes int64 // resident estimate, set (under the Compiler lock) on success
 }
 
 // NewCompiler returns a Compiler whose cache holds up to capacity compiled
 // problems (capacity <= 0 selects DefaultCacheCapacity).
 func NewCompiler(capacity int) *Compiler {
+	return NewCompilerBudget(capacity, 0)
+}
+
+// NewCompilerBudget additionally bounds the cache by approximate resident
+// bytes: entries are evicted (LRU first) while the completed entries' total
+// exceeds byteBudget, so a cache full of large artifacts cannot pin
+// unbounded memory no matter how generous the entry-count capacity is.
+// byteBudget <= 0 disables the byte bound. A single entry larger than the
+// budget is kept — serving it beats compile thrash — so the bound is
+// "budget or one artifact, whichever is larger".
+func NewCompilerBudget(capacity int, byteBudget int64) *Compiler {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
 	return &Compiler{
-		capacity: capacity,
-		lru:      list.New(),
-		byKey:    map[string]*list.Element{},
+		capacity:   capacity,
+		byteBudget: byteBudget,
+		lru:        list.New(),
+		byKey:      map[string]*list.Element{},
 	}
+}
+
+// evictLocked enforces both cache bounds, never evicting keep. Caller
+// holds c.mu.
+func (c *Compiler) evictLocked(keep *list.Element) {
+	// Entry-count bound: plain LRU, in-flight entries included (their
+	// waiters hold the entry pointer and are never stranded).
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		if back == keep {
+			break
+		}
+		c.removeLocked(back)
+	}
+	if c.byteBudget <= 0 {
+		return
+	}
+	// Byte bound: evict completed entries only. An in-flight entry has
+	// bytes == 0 — removing it frees nothing and would break its
+	// single-flight slot (concurrent compiles of the same formula would
+	// restart), so the walk skips it.
+	for el := c.lru.Back(); el != nil && c.resident > c.byteBudget && c.lru.Len() > 1; {
+		prev := el.Prev()
+		if el != keep && el.Value.(*cacheEntry).bytes > 0 {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
+}
+
+// removeLocked drops one cached entry and settles the accounting. Caller
+// holds c.mu.
+func (c *Compiler) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.byKey, e.key)
+	c.resident -= e.bytes
+	c.evictions++
 }
 
 // Compile returns the shared Problem for f, compiling it at most once per
@@ -102,27 +160,32 @@ func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	el := c.lru.PushFront(e)
 	c.byKey[key] = el
 	c.misses++
-	for c.lru.Len() > c.capacity {
-		back := c.lru.Back()
-		if back == el {
-			break
-		}
-		c.lru.Remove(back)
-		delete(c.byKey, back.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	c.evictLocked(el)
 	c.mu.Unlock()
 
 	prob, err := compileProblem(f, key)
 
 	c.mu.Lock()
 	e.prob, e.err = prob, err
-	if err != nil {
+	switch {
+	case err != nil:
 		// Failed compiles are not cached: drop the entry (if the LRU still
 		// holds it) so a later Compile can retry.
 		if cur, ok := c.byKey[key]; ok && cur == el {
 			c.lru.Remove(cur)
 			delete(c.byKey, key)
+		}
+	default:
+		// Record the artifact's resident estimate, but only while the entry
+		// is still cached — a concurrent burst may have evicted it in
+		// flight, and an evicted entry must not count toward residency.
+		// Sizes are only known at completion, so the byte bound is
+		// re-enforced here (the just-completed entry survives even when it
+		// alone exceeds the budget).
+		if cur, ok := c.byKey[key]; ok && cur == el {
+			e.bytes = residentEstimate(prob)
+			c.resident += e.bytes
+			c.evictLocked(el)
 		}
 	}
 	c.mu.Unlock()
@@ -130,15 +193,47 @@ func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	return prob, err
 }
 
+// residentEstimate approximates the bytes a cached Problem keeps resident:
+// the compiled engine's fixed single-worker working set (tile × value/
+// adjoint slots, via the core memory model) — the dominant per-artifact
+// cost, since the program arrays scale with the same slot counts.
+func residentEstimate(p *Problem) int64 {
+	return p.core.MemoryEstimate(1, 0, false)
+}
+
+// Lookup returns the cached Problem for a content-hash key without
+// compiling anything — the server's submit-by-key fast path. A present
+// entry counts as a hit and is refreshed in the LRU; a missing key (or one
+// whose compile failed) reports ok == false. Lookup blocks only when the
+// keyed compile is still in flight.
+func (c *Compiler) Lookup(key string) (prob *Problem, ok bool) {
+	c.mu.Lock()
+	el, found := c.byKey[key]
+	if !found {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return nil, false
+	}
+	return e.prob, true
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Compiler) Stats() CompilerStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CompilerStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.lru.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       c.lru.Len(),
+		ResidentBytes: c.resident,
 	}
 }
 

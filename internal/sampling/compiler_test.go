@@ -190,6 +190,170 @@ func TestCompilerSingleFlight(t *testing.T) {
 	}
 }
 
+// TestCompilerResidentBytes checks the /metrics residency surface: bytes
+// are the per-artifact estimate, accumulate per completed entry, and are
+// released exactly on eviction.
+func TestCompilerResidentBytes(t *testing.T) {
+	ins := benchgen.SmallSuite()
+	est := func(f *cnf.Formula) int64 {
+		p, err := CompileProblem(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return residentEstimate(p)
+	}
+	e0, e1, e2 := est(ins[0].Formula), est(ins[1].Formula), est(ins[2].Formula)
+
+	c := NewCompiler(2)
+	if st := c.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("empty cache resident bytes = %d", st.ResidentBytes)
+	}
+	if _, err := c.Compile(ins[0].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentBytes != e0 {
+		t.Fatalf("resident = %d, want %d", st.ResidentBytes, e0)
+	}
+	if _, err := c.Compile(ins[1].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentBytes != e0+e1 {
+		t.Fatalf("resident = %d, want %d", st.ResidentBytes, e0+e1)
+	}
+	if _, err := c.Compile(ins[2].Formula); err != nil { // evicts ins[0]
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentBytes != e1+e2 {
+		t.Fatalf("resident after eviction = %d, want %d", st.ResidentBytes, e1+e2)
+	}
+}
+
+// TestCompilerByteBudget: the cache evicts LRU entries once completed
+// residency exceeds the byte budget, even with entry-count headroom, and
+// never evicts its way below one entry.
+func TestCompilerByteBudget(t *testing.T) {
+	ins := benchgen.SmallSuite()
+	est := func(f *cnf.Formula) int64 {
+		p, err := CompileProblem(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return residentEstimate(p)
+	}
+	e0, e1 := est(ins[0].Formula), est(ins[1].Formula)
+
+	// Budget fits the first two entries exactly; the third must evict.
+	c := NewCompilerBudget(16, e0+e1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Compile(ins[i].Formula); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite exceeding the byte budget")
+	}
+	if st.ResidentBytes > e0+e1 && st.Entries > 1 {
+		t.Errorf("resident %d over budget %d with %d entries", st.ResidentBytes, e0+e1, st.Entries)
+	}
+	if st.Entries < 1 {
+		t.Error("cache evicted below one entry")
+	}
+	// The newest entry survives even if it alone busts the budget.
+	tiny := NewCompilerBudget(16, 1)
+	if _, err := tiny.Compile(ins[0].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if st := tiny.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want the oversized artifact kept", st.Entries)
+	}
+	if _, ok := tiny.Lookup(HashFormula(ins[0].Formula)); !ok {
+		t.Error("oversized artifact not servable")
+	}
+}
+
+// TestCompilerStatsConsistentUnderRace hammers the cache from many
+// goroutines over more formulas than it can hold, then checks the snapshot
+// invariants hold exactly: entries bounded by capacity, hits+misses equal
+// to the calls issued, and resident bytes equal to the sum over the entries
+// that remain. Run under -race in CI.
+func TestCompilerStatsConsistentUnderRace(t *testing.T) {
+	ins := benchgen.SmallSuite()
+	c := NewCompiler(2)
+	const loops = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				f := ins[(g+i)%len(ins)].Formula
+				if _, err := c.Compile(f); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*loops {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*loops)
+	}
+	if st.Entries > 2 {
+		t.Errorf("entries = %d beyond capacity 2", st.Entries)
+	}
+	// Whatever is cached now, resident bytes must be the exact sum of the
+	// per-entry estimates: re-lookup every formula and sum those cached.
+	var want int64
+	for _, in := range ins {
+		if p, ok := c.Lookup(HashFormula(in.Formula)); ok {
+			want += residentEstimate(p)
+		}
+	}
+	if st2 := c.Stats(); st2.ResidentBytes != want {
+		t.Errorf("resident = %d, want recomputed %d", st2.ResidentBytes, want)
+	}
+}
+
+func TestCompilerLookup(t *testing.T) {
+	f := smallFormula()
+	c := NewCompiler(2)
+	key := HashFormula(f)
+	if _, ok := c.Lookup(key); ok {
+		t.Fatal("lookup hit on an empty cache")
+	}
+	p, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(key)
+	if !ok || got != p {
+		t.Fatalf("lookup after compile: ok=%v same=%v", ok, got == p)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 (lookup counts as hit)", st.Hits, st.Misses)
+	}
+	// Lookup refreshes recency: with f freshly touched, overflowing the
+	// 2-entry cache must evict the other entry, not f.
+	ins := benchgen.SmallSuite()
+	if _, err := c.Compile(ins[1].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup(key); !ok {
+		t.Fatal("f evicted early")
+	}
+	if _, err := c.Compile(ins[2].Formula); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup(key); !ok {
+		t.Error("looked-up entry evicted despite recency refresh")
+	}
+	if _, ok := c.Lookup(HashFormula(ins[1].Formula)); ok {
+		t.Error("LRU entry survived past capacity")
+	}
+}
+
 func TestCompilerErrorNotCached(t *testing.T) {
 	// A formula whose extracted circuit has no primary inputs fails
 	// core.Compile; the failure must not be cached.

@@ -1,0 +1,87 @@
+package sampling
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to at
+// most base, failing after a generous deadline. Counting is inherently
+// racy (the runtime retires goroutines asynchronously), so the check is
+// eventual, not instantaneous.
+func waitGoroutines(t *testing.T, base int, scenario string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s: %d goroutines alive, want <= %d\n%s",
+				scenario, runtime.NumGoroutine(), base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChannelTeardown guards Session.Channel against producer leaks: a
+// cancelled context with a never-reading receiver, and a receiver that
+// reads a few solutions and then abandons the channel (cancelling via
+// defer, per the documented contract), must both tear the stream goroutine
+// down. The producer blocks on the channel send once the 64-slot buffer
+// fills, so only ctx can release it — exactly the path being guarded.
+// Scenarios run inline (not as subtests) so the goroutine baseline holds.
+func TestChannelTeardown(t *testing.T) {
+	p, err := CompileProblem(smallFormula())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	// Scenario 1: context cancelled, receiver never reads a single value.
+	s1, err := p.NewSession(SessionConfig{Seed: 1, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, wait := s1.Channel(ctx, 0) // unbounded: fills the buffer, then blocks
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	st, err := wait()
+	if err != nil {
+		t.Fatalf("wait after cancel: %v", err)
+	}
+	if !st.Timeout {
+		t.Error("cancelled stream not marked Timeout")
+	}
+	waitGoroutines(t, base, "cancelled context")
+
+	// Scenario 2: receiver reads a few solutions, then abandons the
+	// channel with the producer mid-send.
+	s2, err := p.NewSession(SessionConfig{Seed: 2, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ch, wait2 := s2.Channel(ctx2, 0)
+	got := 0
+	for sol := range ch {
+		if len(sol) != p.Formula().NumVars {
+			t.Fatalf("solution over %d vars, want %d", len(sol), p.Formula().NumVars)
+		}
+		if got++; got >= 3 {
+			break // abandon: producer is left blocked on send
+		}
+	}
+	cancel2()
+	if _, err := wait2(); err != nil {
+		t.Fatalf("wait after abandon: %v", err)
+	}
+	waitGoroutines(t, base, "abandoned receiver")
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Acquire when the bounded wait queue is at
+// capacity — the load-shedding signal the HTTP layer maps to 429.
+var ErrQueueFull = errors.New("server: queue full")
+
+// queue is the bounded weighted-fair admission scheduler: up to slots jobs
+// hold a grant (the worker pool) and at most depth more wait. Waiting jobs
+// are granted in start-time-fair-queueing order — each tenant carries a
+// virtual finish time advanced by 1/weight per admitted job, and the
+// minimum finish tag runs next — so a tenant with weight 2 drains twice as
+// fast as a weight-1 tenant under contention, and a flood from one tenant
+// cannot starve the rest. Within a tenant, jobs stay FIFO.
+type queue struct {
+	mu      sync.Mutex
+	slots   int
+	depth   int
+	active  int
+	vt      float64 // global virtual clock: start tag of the job last admitted
+	seq     uint64  // FIFO tiebreak source
+	waiting waitHeap
+	tenants map[string]*tenantState
+}
+
+// tenantState tracks one tenant's fair-queueing tag. It exists only while
+// the tenant has waiting or active jobs (refs > 0), so tenant churn does
+// not grow the map without bound; an idle tenant re-enters at the current
+// virtual clock, which is exactly SFQ's treatment of idle flows.
+type tenantState struct {
+	finish float64 // virtual finish time of the tenant's last admitted job
+	refs   int
+}
+
+// waiter is one queued Acquire call.
+type waiter struct {
+	tenant string
+	start  float64
+	finish float64
+	seq    uint64        // FIFO tiebreak on equal finish tags
+	grant  chan struct{} // closed when the slot is granted
+	index  int           // heap index; -1 removed, -2 granted
+}
+
+type waitHeap []*waiter
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waitHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waitHeap) Pop() any {
+	old := *h
+	w := old[len(old)-1]
+	old[len(old)-1] = nil
+	w.index = -1
+	*h = old[:len(old)-1]
+	return w
+}
+
+func newQueue(slots, depth int) *queue {
+	if slots < 1 {
+		slots = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &queue{slots: slots, depth: depth, tenants: map[string]*tenantState{}}
+}
+
+// tag computes the SFQ start/finish tags for a new job of the tenant and
+// advances the tenant's finish time. Caller holds q.mu.
+func (q *queue) tag(tenant string, weight int) (start, finish float64) {
+	if weight < 1 {
+		weight = 1
+	}
+	ts := q.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{finish: q.vt}
+		q.tenants[tenant] = ts
+	}
+	start = ts.finish
+	if start < q.vt {
+		start = q.vt
+	}
+	finish = start + 1/float64(weight)
+	ts.finish = finish
+	ts.refs++
+	return start, finish
+}
+
+// unref drops one job reference for the tenant, deleting idle state.
+// Caller holds q.mu.
+func (q *queue) unref(tenant string) {
+	if ts := q.tenants[tenant]; ts != nil {
+		if ts.refs--; ts.refs <= 0 {
+			delete(q.tenants, tenant)
+		}
+	}
+}
+
+// grantLocked hands free slots to the fairest waiters. Caller holds q.mu.
+func (q *queue) grantLocked() {
+	for q.active < q.slots && q.waiting.Len() > 0 {
+		w := heap.Pop(&q.waiting).(*waiter)
+		w.index = -2
+		q.vt = w.start
+		q.active++
+		close(w.grant)
+	}
+}
+
+// Acquire obtains a worker slot for one job of the given tenant, blocking
+// in weighted-fair order while the pool is busy. It returns a release
+// function that must be called exactly once when the job finishes (it is
+// safe to call it more than once). When depth waiters are already queued
+// it fails fast with ErrQueueFull; when ctx ends first it returns the
+// context error with the waiter unlinked.
+func (q *queue) Acquire(ctx context.Context, tenant string, weight int) (release func(), err error) {
+	q.mu.Lock()
+	if q.active < q.slots && q.waiting.Len() == 0 {
+		start, _ := q.tag(tenant, weight)
+		q.vt = start
+		q.active++
+		q.mu.Unlock()
+		return q.releaseFunc(tenant), nil
+	}
+	if q.waiting.Len() >= q.depth {
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	q.seq++
+	w := &waiter{tenant: tenant, seq: q.seq, grant: make(chan struct{})}
+	w.start, w.finish = q.tag(tenant, weight)
+	heap.Push(&q.waiting, w)
+	q.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return q.releaseFunc(tenant), nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w.index == -2 {
+			// Raced with a grant: the slot is ours, give it back.
+			q.mu.Unlock()
+			q.releaseFunc(tenant)()
+			return nil, ctx.Err()
+		}
+		heap.Remove(&q.waiting, w.index)
+		q.unref(tenant)
+		q.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc builds the idempotent slot release for one granted job.
+func (q *queue) releaseFunc(tenant string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			q.active--
+			q.unref(tenant)
+			q.grantLocked()
+			q.mu.Unlock()
+		})
+	}
+}
+
+// Depth reports the number of waiting jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting.Len()
+}
+
+// Active reports the number of granted (running) jobs.
+func (q *queue) Active() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.active
+}

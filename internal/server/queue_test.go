@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueImmediateGrant(t *testing.T) {
+	q := newQueue(2, 4)
+	r1, err := q.Acquire(context.Background(), "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.Acquire(context.Background(), "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Active() != 2 || q.Depth() != 0 {
+		t.Fatalf("active=%d depth=%d, want 2/0", q.Active(), q.Depth())
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if q.Active() != 0 {
+		t.Fatalf("active=%d after release, want 0", q.Active())
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	q := newQueue(1, 0) // no waiting room at all
+	release, err := q.Acquire(context.Background(), "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Acquire(context.Background(), "b", 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	release()
+	r2, err := q.Acquire(context.Background(), "b", 1)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+}
+
+func TestQueueCancelWhileWaiting(t *testing.T) {
+	q := newQueue(1, 8)
+	release, err := q.Acquire(context.Background(), "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, "b", 1)
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("cancelled waiter still queued (depth %d)", q.Depth())
+	}
+	release()
+	if q.Active() != 0 {
+		t.Fatalf("active=%d, want 0", q.Active())
+	}
+}
+
+// TestQueueWeightedFairness checks the SFQ dequeue order: with the single
+// slot held, tenant A (weight 2) and tenant B (weight 1) each queue 15
+// jobs; once the slot frees, the first 12 grants must serve A twice as
+// often as B (A's finish tags land at 0.5, 1.0, 1.5, … while B's land at
+// 1, 2, 3, … — exactly 8 A-tags and 4 B-tags are <= 4.0).
+func TestQueueWeightedFairness(t *testing.T) {
+	q := newQueue(1, 64)
+	holder, err := q.Acquire(context.Background(), "hold", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	spawn := func(tenant string, weight, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release, err := q.Acquire(context.Background(), tenant, weight)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				release()
+			}()
+		}
+	}
+	spawn("A", 2, 15)
+	spawn("B", 1, 15)
+	waitFor(t, func() bool { return q.Depth() == 30 })
+	holder()
+	wg.Wait()
+
+	a, b := 0, 0
+	for _, tenant := range order[:12] {
+		if tenant == "A" {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a != 8 || b != 4 {
+		t.Errorf("first 12 grants: A=%d B=%d, want 8/4 (order %v)", a, b, order[:12])
+	}
+}
+
+// TestQueueFIFOWithinTenant: jobs of one tenant are granted in submission
+// order.
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := newQueue(1, 8)
+	holder, err := q.Acquire(context.Background(), "hold", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := q.Acquire(context.Background(), "t", 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			release()
+		}(i)
+		waitFor(t, func() bool { return q.Depth() == i+1 })
+	}
+	holder()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order %v, want submission order", order)
+		}
+	}
+}
+
+// TestQueueTenantStateBounded: idle tenants must not accumulate in the
+// fairness map (tenant churn is unbounded in a public service).
+func TestQueueTenantStateBounded(t *testing.T) {
+	q := newQueue(2, 8)
+	for i := 0; i < 100; i++ {
+		release, err := q.Acquire(context.Background(), string(rune('a'+i%26))+"x", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	q.mu.Lock()
+	n := len(q.tenants)
+	q.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d tenant states retained after all jobs finished, want 0", n)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,568 @@
+// Package server implements satserved: a multi-tenant network sampling
+// service over the compile cache. Clients POST a DIMACS CNF (or the
+// content-hash key of one the server has already compiled) and receive
+// verified solutions back as an NDJSON stream.
+//
+// The service is the amortization argument of the sampling layer lifted to
+// the network: N concurrent requests for the same formula compile once
+// (sampling.Compiler single-flight + LRU) and stream from independent
+// Sessions over the one shared artifact. Around that core sit the pieces a
+// multi-tenant deployment needs:
+//
+//   - a bounded weighted-fair admission queue (per-tenant start-time fair
+//     queueing), so one tenant's flood cannot starve the rest. Tenant
+//     identity and weight are read from the request (X-Tenant header /
+//     query params) and are only meaningful when a trusted edge — reverse
+//     proxy, API gateway — sets them after authenticating; a deployment
+//     facing anonymous clients should strip them at the edge (every
+//     request then shares the "anon" tenant) and rely on the bounded
+//     queue, or set MaxWeight to 1 to neutralize client-chosen weights;
+//   - admission control driven by queue depth and the compiled memory
+//     model (MemoryEstimate/BatchForBudget): requests that would exceed
+//     the aggregate session-memory budget are shed with 429 + Retry-After
+//     instead of degrading in-flight streams or OOMing. The estimate
+//     prices the dedup pool against the request's effective target, and
+//     "unbounded" requests (target=0) are capped at MaxTarget, so every
+//     admitted stream is bounded by construction. Compilation of new
+//     formulas — the one memory cost that precedes admission — runs
+//     through a gate bounding concurrent compiles (cache hits bypass it);
+//   - per-request deadlines and client-disconnect cancellation threaded
+//     into Session.Stream;
+//   - graceful drain: on SIGTERM the server rejects new work, lets
+//     in-flight streams run out a grace period, then cancels them — every
+//     stream still ends with a well-formed summary line carrying its
+//     partial results;
+//   - observability: /healthz, Prometheus-style /metrics (queue depth,
+//     active sessions, sol/s, compiler hit/miss/eviction/residency), and
+//     structured request logs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// production-sane default.
+type Config struct {
+	// Compiler is the shared compile cache. Nil builds a fresh one with
+	// the default capacity.
+	Compiler *sampling.Compiler
+	// Device executes GD batches (default: all CPUs).
+	Device tensor.Device
+	// Workers bounds concurrently streaming sessions (default 4). Each
+	// session parallelizes internally over Device, so this is a
+	// concurrency/latency knob, not a core count.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker slot (default 64);
+	// arrivals beyond it are shed with 429.
+	QueueDepth int
+	// MemoryBudget bounds the aggregate estimated bytes of admitted
+	// sessions (default 512 MiB). Admission reserves each session's
+	// MemoryEstimate against it; overflow is shed with 429.
+	MemoryBudget int64
+	// SessionMemory is the per-session budget BatchForBudget sizes the GD
+	// batch against (default 64 MiB).
+	SessionMemory int64
+	// MaxTarget caps a request's solution target (default 100000). A
+	// request with target <= 0 gets exactly this cap: there are no
+	// unbounded streams, which is what lets admission control price each
+	// session's dedup pool.
+	MaxTarget int
+	// MaxWeight caps the client-supplied fair-queueing weight (default 8;
+	// set 1 to ignore client weights entirely). Weights are only
+	// trustworthy behind an authenticating edge — see the package doc.
+	MaxWeight int
+	// DefaultTarget applies when a request names no target (default 1000).
+	DefaultTarget int
+	// MaxTimeout / DefaultTimeout bound the per-request sampling deadline
+	// (defaults 2m / 30s). Unbounded-target requests run to the deadline.
+	MaxTimeout     time.Duration
+	DefaultTimeout time.Duration
+	// Limits bounds untrusted DIMACS input (zero value selects
+	// cnf.DefaultParseLimits).
+	Limits cnf.ParseLimits
+	// DrainGrace is how long in-flight streams may keep running after
+	// drain starts before their contexts are cancelled (default 5s).
+	DrainGrace time.Duration
+	// Seed bases the per-request session seeds (default 1).
+	Seed int64
+	// Log receives structured request logs (default slog.Default()).
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Compiler == nil {
+		c.Compiler = sampling.NewCompiler(0)
+	}
+	if c.Device.Workers() < 1 {
+		c.Device = tensor.Parallel()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 512 << 20
+	}
+	if c.SessionMemory <= 0 {
+		c.SessionMemory = 64 << 20
+	}
+	if c.MaxTarget <= 0 {
+		c.MaxTarget = 100000
+	}
+	if c.MaxWeight <= 0 {
+		c.MaxWeight = 8
+	}
+	if c.DefaultTarget <= 0 {
+		c.DefaultTarget = 1000
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.Limits == (cnf.ParseLimits{}) {
+		c.Limits = cnf.DefaultParseLimits()
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// Server is the satserved HTTP service. Create with New, mount Handler(),
+// call StartDrain on shutdown.
+type Server struct {
+	cfg      Config
+	compiler *sampling.Compiler
+	queue    *queue
+	met      *metrics
+	log      *slog.Logger
+	// parseGate bounds concurrent DIMACS body parses and compileGate
+	// bounds concurrent formula compilations: the two pre-admission
+	// memory costs. Without them a flood of limit-respecting bodies
+	// could hold unbounded parsed Formulas (or compile work) before the
+	// ledger or queue ever sees a request. Cache hits skip the compile
+	// gate; key-based submits skip both.
+	parseGate   chan struct{}
+	compileGate chan struct{}
+
+	draining   atomic.Bool
+	sessCtx    context.Context // cancelled when the drain grace expires
+	sessCancel context.CancelFunc
+
+	memMu    sync.Mutex
+	reserved int64
+
+	seq atomic.Int64 // request counter: ids and per-session seeds
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		compiler:    cfg.Compiler,
+		queue:       newQueue(cfg.Workers, cfg.QueueDepth),
+		met:         newMetrics(),
+		log:         cfg.Log,
+		parseGate:   make(chan struct{}, max(2*cfg.Workers, 4)),
+		compileGate: make(chan struct{}, cfg.Workers),
+		sessCtx:     ctx,
+		sessCancel:  cancel,
+	}
+}
+
+// Compiler returns the shared compile cache (for embedding servers that
+// want to pre-warm it or report its stats elsewhere).
+func (s *Server) Compiler() *sampling.Compiler { return s.compiler }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// StartDrain begins a graceful drain: new submissions are rejected with
+// 503 immediately, in-flight streams keep running for DrainGrace and are
+// then cancelled (each still terminates with a summary line carrying its
+// partial results). Idempotent. Callers typically follow with
+// http.Server.Shutdown, which returns once the last stream finishes.
+func (s *Server) StartDrain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.log.Info("drain started", "grace", s.cfg.DrainGrace)
+	time.AfterFunc(s.cfg.DrainGrace, s.sessCancel)
+}
+
+// Draining reports whether a drain is in progress.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// reserve admits est bytes against the aggregate memory budget.
+func (s *Server) reserve(est int64) bool {
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if s.reserved+est > s.cfg.MemoryBudget {
+		return false
+	}
+	s.reserved += est
+	return true
+}
+
+func (s *Server) unreserve(est int64) {
+	s.memMu.Lock()
+	s.reserved -= est
+	s.memMu.Unlock()
+}
+
+// sessionShape derives the GD batch a session over prob will run with
+// (the same BatchForBudget sizing NewSession applies to SessionMemory) and
+// the session's estimated resident bytes — the admission-control unit.
+// The estimate adds the dedup pool's worst case at the request's effective
+// target (packed primary-input rows plus hash/dedup overhead), so a
+// stream that runs all the way to its cap is still inside its
+// reservation.
+func (s *Server) sessionShape(prob *sampling.Problem, target int) (batch int, est int64) {
+	workers := s.cfg.Device.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	batch = prob.Core().BatchForBudget(workers, false, s.cfg.SessionMemory)
+	if batch < 64 {
+		batch = 64
+	}
+	if batch > 8192 {
+		batch = 8192
+	}
+	est = prob.Core().MemoryEstimate(workers, batch, false)
+	est += int64(target) * int64(prob.NumInputs()/8+24)
+	return batch, est
+}
+
+// errorBody writes a single-line JSON error response.
+func (s *Server) errorBody(w http.ResponseWriter, status int, msg, outcome, retryAfter string) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	s.met.request(outcome)
+}
+
+// metaLine opens every sampling stream: the problem's cache key (usable
+// for later submit-by-key requests), the GD batch the session runs, the
+// effective target, and how long admission took.
+type metaLine struct {
+	Type    string  `json:"type"` // "meta"
+	Key     string  `json:"key"`
+	Batch   int     `json:"batch"`
+	Target  int     `json:"target"`
+	QueueMS float64 `json:"queue_ms"`
+}
+
+// solutionLine carries one verified solution as a 0/1 string over CNF
+// variables 1..N.
+type solutionLine struct {
+	Type       string `json:"type"` // "solution"
+	Assignment string `json:"assignment"`
+}
+
+// doneLine closes every stream, successful or drained.
+type doneLine struct {
+	Type      string  `json:"type"` // "done"
+	Unique    int     `json:"unique"`
+	Delivered int     `json:"delivered"`
+	Calls     int     `json:"calls"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	SolPerSec float64 `json:"sol_per_sec"`
+	Timeout   bool    `json:"timeout"`
+	Exhausted bool    `json:"exhausted"`
+	Drained   bool    `json:"drained"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	id := s.seq.Add(1)
+	if s.draining.Load() {
+		s.errorBody(w, http.StatusServiceUnavailable, "server draining", outcomeDraining, "5")
+		return
+	}
+
+	// The edge-set header wins over the query parameter: when a trusted
+	// proxy asserts tenant identity, a client must not be able to
+	// impersonate (or fabricate) tenants by appending ?tenant=.
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = r.URL.Query().Get("tenant")
+	}
+	if tenant == "" {
+		tenant = "anon"
+	}
+	weight := 1
+	if v, err := strconv.Atoi(r.URL.Query().Get("weight")); err == nil {
+		weight = min(max(v, 1), s.cfg.MaxWeight)
+	}
+	target := s.cfg.DefaultTarget
+	if tv := r.URL.Query().Get("target"); tv != "" {
+		v, err := strconv.Atoi(tv)
+		if err != nil {
+			s.errorBody(w, http.StatusBadRequest, "bad target", outcomeBadRequest, "")
+			return
+		}
+		target = v
+	}
+	if target > s.cfg.MaxTarget {
+		s.errorBody(w, http.StatusBadRequest,
+			fmt.Sprintf("target exceeds maximum %d", s.cfg.MaxTarget), outcomeBadRequest, "")
+		return
+	}
+	if target <= 0 {
+		// "Unbounded" means the server's cap: every admitted stream is
+		// bounded, so its dedup pool is priceable at admission time. The
+		// deadline usually ends such a stream first.
+		target = s.cfg.MaxTarget
+	}
+	timeout := s.cfg.DefaultTimeout
+	if tv := r.URL.Query().Get("timeout"); tv != "" {
+		d, err := time.ParseDuration(tv)
+		if err != nil || d <= 0 {
+			s.errorBody(w, http.StatusBadRequest, "bad timeout", outcomeBadRequest, "")
+			return
+		}
+		timeout = min(d, s.cfg.MaxTimeout)
+	}
+
+	// Resolve the problem: by cache key (no body) or by compiling the
+	// posted DIMACS through the shared single-flight cache. New formulas
+	// go through the compile gate so a flood of distinct CNFs runs at
+	// most Workers compilations at once; already-cached formulas (and
+	// waiters on an in-flight compile) bypass it.
+	var prob *sampling.Problem
+	if key := r.URL.Query().Get("key"); key != "" {
+		p, ok := s.compiler.Lookup(key)
+		if !ok {
+			s.errorBody(w, http.StatusNotFound, "unknown problem key", outcomeNotFound, "")
+			return
+		}
+		prob = p
+	} else {
+		select {
+		case s.parseGate <- struct{}{}:
+		case <-r.Context().Done():
+			s.met.request(outcomeCancelled)
+			return
+		}
+		f, err := cnf.ParseDIMACSLimits(r.Body, s.cfg.Limits)
+		switch {
+		case errors.Is(err, cnf.ErrLimit):
+			<-s.parseGate
+			s.errorBody(w, http.StatusRequestEntityTooLarge, err.Error(), outcomeTooLarge, "")
+			return
+		case err != nil:
+			<-s.parseGate
+			s.errorBody(w, http.StatusBadRequest, err.Error(), outcomeBadRequest, "")
+			return
+		}
+		if p, ok := s.compiler.Lookup(sampling.HashFormula(f)); ok {
+			<-s.parseGate
+			prob = p
+		} else {
+			// The parse gate is held until the compile slot is acquired:
+			// releasing it earlier would let goroutines blocked on the
+			// compile gate accumulate parsed Formulas without bound —
+			// formula holders are capped at parseGate+compileGate slots.
+			select {
+			case s.compileGate <- struct{}{}:
+				<-s.parseGate
+			case <-r.Context().Done():
+				<-s.parseGate
+				s.met.request(outcomeCancelled)
+				return
+			}
+			p, err := s.compiler.Compile(f)
+			<-s.compileGate
+			if err != nil {
+				s.errorBody(w, http.StatusBadRequest, "compile: "+err.Error(), outcomeBadRequest, "")
+				return
+			}
+			prob = p
+		}
+	}
+
+	// Admission control. Memory first: reserving before queueing keeps the
+	// wait queue free of jobs that could not run anyway, and the ledger
+	// covers queued + active sessions so the budget can never be exceeded.
+	batch, est := s.sessionShape(prob, target)
+	if !s.reserve(est) {
+		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "memory",
+			"estimate", est, "key", short(prob.Key()))
+		s.errorBody(w, http.StatusTooManyRequests, "session memory budget exhausted", outcomeShedMemory, "2")
+		return
+	}
+	defer s.unreserve(est)
+
+	qt0 := time.Now()
+	release, err := s.queue.Acquire(r.Context(), tenant, weight)
+	if errors.Is(err, ErrQueueFull) {
+		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "queue", "key", short(prob.Key()))
+		s.errorBody(w, http.StatusTooManyRequests, "queue full", outcomeShedQueue, "1")
+		return
+	}
+	if err != nil {
+		// Client disconnected while waiting; nothing can be written.
+		s.met.request(outcomeCancelled)
+		return
+	}
+	defer release()
+	// Pure slot wait — parse/compile time is excluded so operators tuning
+	// Workers/QueueDepth see real queueing pressure, not compile cost.
+	queueWait := time.Since(qt0)
+
+	sess, err := prob.NewSession(sampling.SessionConfig{
+		BatchSize: batch,
+		Seed:      s.cfg.Seed + id,
+		Device:    s.cfg.Device,
+	})
+	if err != nil {
+		s.errorBody(w, http.StatusInternalServerError, err.Error(), outcomeStreamErr, "")
+		return
+	}
+
+	// The session context: request deadline + client disconnect (via
+	// r.Context) + drain cancellation.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stopDrainWatch := context.AfterFunc(s.sessCtx, cancel)
+	defer stopDrainWatch()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Problem-Key", prob.Key())
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := writeLine(metaLine{
+		Type: "meta", Key: prob.Key(), Batch: batch, Target: target,
+		QueueMS: float64(queueWait.Microseconds()) / 1e3,
+	}); err != nil {
+		s.met.request(outcomeStreamErr)
+		return
+	}
+
+	// The continuous scheduler can overshoot small targets by a whole
+	// retired batch; the service contract is "at most target solutions per
+	// request", so the sink stops the stream at exactly the target.
+	delivered := 0
+	st, serr := sess.Stream(ctx, target, func(sol []bool) error {
+		if err := writeLine(solutionLine{Type: "solution", Assignment: bitString(sol)}); err != nil {
+			return err
+		}
+		delivered++
+		s.met.addSolutions(1, time.Now())
+		if target > 0 && delivered >= target {
+			return sampling.Stop
+		}
+		return nil
+	})
+
+	drained := s.sessCtx.Err() != nil && st.Timeout
+	outcome := outcomeOK
+	if serr != nil {
+		outcome = outcomeStreamErr
+	} else {
+		_ = writeLine(doneLine{
+			Type: "done", Unique: st.Unique, Delivered: delivered, Calls: st.Calls,
+			ElapsedMS: float64(st.Elapsed.Microseconds()) / 1e3,
+			SolPerSec: st.Throughput(), Timeout: st.Timeout,
+			Exhausted: st.Exhausted, Drained: drained,
+		})
+	}
+	s.met.request(outcome)
+	s.log.Info("sample", "id", id, "tenant", tenant, "key", short(prob.Key()),
+		"target", target, "unique", st.Unique, "delivered", delivered,
+		"queue_ms", queueWait.Milliseconds(), "elapsed_ms", st.Elapsed.Milliseconds(),
+		"total_ms", time.Since(t0).Milliseconds(), "timeout", st.Timeout,
+		"exhausted", st.Exhausted, "drained", drained, "outcome", outcome)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  status,
+		"active":  s.queue.Active(),
+		"queued":  s.queue.Depth(),
+		"uptime":  time.Since(s.met.start).Round(time.Millisecond).String(),
+		"version": "satserved/1",
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.memMu.Lock()
+	reserved := s.reserved
+	s.memMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.Write(w, s.queue.Depth(), s.queue.Active(), reserved, s.cfg.MemoryBudget,
+		s.compiler.Stats(), s.draining.Load())
+}
+
+// bitString renders a dense assignment as the CLI-compatible 0/1 string.
+func bitString(sol []bool) string {
+	b := make([]byte, len(sol))
+	for i, v := range sol {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// short abbreviates a content-hash key for logs.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
