@@ -8,6 +8,7 @@
 //	paperbench -exp engine            # compiled-engine shape: fusion, registers, memory
 //	paperbench -exp sched             # continuous-batch scheduler vs round mode
 //	paperbench -exp serve             # satserved load generator: p50/p99 latency, sol/s vs clients
+//	paperbench -exp quality           # exact-count coverage + chi-square uniformity oracle
 //	paperbench -exp all               # everything
 //
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
@@ -56,6 +57,7 @@ type report struct {
 	Table2  []harness.Table2Row    `json:"table2,omitempty"`
 	Sched   []harness.SchedRow     `json:"sched,omitempty"`
 	Serve   []ServeRow             `json:"serve,omitempty"`
+	Quality []QualityRow           `json:"quality,omitempty"`
 	Fig2    []harness.Fig2Point    `json:"fig2,omitempty"`
 	Fig4    []harness.Fig4Row      `json:"fig4,omitempty"`
 	Cache   sampling.CompilerStats `json:"cache"`
@@ -63,7 +65,7 @@ type report struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | serve | all")
+		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | serve | quality | all")
 		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -71,6 +73,7 @@ func main() {
 		small      = flag.Bool("small", false, "use the fast 4-instance smoke suite")
 		jsonPath   = flag.String("json", "", "write machine-readable results to this file")
 		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
+		checkQual  = flag.Bool("checkquality", false, "with -exp quality: fail unless every exact-counted instance hits full coverage and passes the uniformity smoke")
 		maxCNF     = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
 	)
 	flag.Parse()
@@ -107,7 +110,7 @@ func main() {
 		GoArch:  runtime.GOARCH,
 	}
 
-	schedOK, serveOK := true, true
+	schedOK, serveOK, qualOK := true, true, true
 	switch *exp {
 	case "table2":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
@@ -123,6 +126,8 @@ func main() {
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
 	case "serve":
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
+	case "quality":
+		rep.Quality, qualOK = runQuality(ctx, compiler, dev, *checkQual)
 	case "all":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
 		fmt.Println()
@@ -135,6 +140,8 @@ func main() {
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
 		fmt.Println()
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
+		fmt.Println()
+		rep.Quality, qualOK = runQuality(ctx, compiler, dev, *checkQual)
 		fmt.Println()
 		runEngine(ctx, figSet(), compiler, dev)
 	default:
@@ -159,6 +166,10 @@ func main() {
 	}
 	if !serveOK {
 		fmt.Fprintln(os.Stderr, "paperbench: serve check FAILED — load generator completed no successful requests or saw errors")
+		os.Exit(1)
+	}
+	if !qualOK {
+		fmt.Fprintln(os.Stderr, "paperbench: quality check FAILED — coverage or uniformity below the checked-in floor")
 		os.Exit(1)
 	}
 }

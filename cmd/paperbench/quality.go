@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// QualityRow is one instance's sample-quality measurement against the
+// exact BDD model count: coverage at saturation, chi-square uniformity at
+// a bounded sample budget.
+type QualityRow struct {
+	Instance  string  `json:"instance"`
+	Vars      int     `json:"vars"`
+	ProjVars  int     `json:"proj_vars"` // 0 = full-assignment identity
+	Exact     float64 `json:"exact"`     // exact (projected) model count
+	Distinct  int     `json:"distinct"`  // projected-distinct solutions at saturation
+	Samples   int     `json:"samples"`   // valid retires at the uniformity checkpoint
+	Coverage  float64 `json:"coverage"`  // distinct / exact at saturation
+	ChiSquare float64 `json:"chi_square"`
+	DoF       int     `json:"dof"`
+	P         float64 `json:"p"` // upper-tail p at the bounded budget
+	SolPerSec float64 `json:"sol_per_sec"`
+}
+
+// Quality gates for -checkquality (the CI regression floor). Coverage must
+// be total — the sampler's claim is "many distinct solutions", and on an
+// exactly-counted suite anything below every model is a regression. The
+// uniformity smoke runs at a small per-model sample budget (chi-square
+// scales linearly in samples for fixed skew, so the bounded budget
+// measures distributional shape, not the GD sampler's asymptotic bias) and
+// the p-threshold is generous: fixed seeds make the measurement
+// deterministic, observed values sit two orders of magnitude above it, and
+// a sampler that collapses onto a subset of models scores p < 1e-20.
+const (
+	qualityCoverageFloor = 1.0
+	qualityPFloor        = 1e-3
+	qualitySampleBudget  = 6 // valid retires per exact model at the checkpoint
+)
+
+// runQuality measures the GD sampler against the exact-count oracle on the
+// tiny quality suite. With check set it fails (ok = false) when any
+// measured instance misses the coverage floor or the uniformity threshold,
+// or when fewer than two instances could be measured — the `-exp quality`
+// CI gate.
+func runQuality(ctx context.Context, compiler *sampling.Compiler, dev tensor.Device, check bool) ([]QualityRow, bool) {
+	fmt.Println("== Quality: exact-count coverage and chi-square uniformity ==")
+	fmt.Println()
+	fmt.Printf("%-16s %6s %6s %8s %9s %9s %9s %8s %10s %12s\n",
+		"instance", "vars", "proj", "exact", "distinct", "coverage", "chi2", "dof", "p", "sol/s")
+
+	rows := make([]QualityRow, 0, 4)
+	ok, measured := true, 0
+	for _, in := range benchgen.QualitySuite() {
+		if ctx.Err() != nil {
+			break
+		}
+		f := in.Formula
+		exact, err := quality.ExactCount(f, f.Projection, quality.CountLimits{})
+		if err != nil {
+			if errors.Is(err, quality.ErrTooLarge) {
+				fmt.Printf("%-16s skipped: %v\n", in.Name, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: quality: %s: %v\n", in.Name, err)
+			ok = false
+			continue
+		}
+		prob, err := compiler.Compile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: quality: %s: compile: %v\n", in.Name, err)
+			ok = false
+			continue
+		}
+		s, err := prob.Core().NewSampler(core.Config{BatchSize: 64, Seed: 2, Device: dev})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: quality: %s: %v\n", in.Name, err)
+			ok = false
+			continue
+		}
+
+		// Uniformity checkpoint at the bounded budget. Stats().Retired is
+		// the continuous scheduler's valid-retire count — exactly the sum
+		// of the per-solution tallies (test-guarded), without copying the
+		// tally slice every tick.
+		budget := qualitySampleBudget * int(exact)
+		for s.Stats().Retired < budget && !s.Exhausted() && ctx.Err() == nil {
+			s.ContinuousStep(0)
+		}
+		uni := quality.Evaluate(s.SolutionHits(), exact)
+
+		// ...then run the same session to saturation for coverage,
+		// honouring SIGINT between ticks like every other experiment (the
+		// 30s cap is a backstop; these instances saturate in milliseconds).
+		satDeadline := time.Now().Add(30 * time.Second)
+		for !s.Exhausted() && ctx.Err() == nil && time.Now().Before(satDeadline) {
+			s.ContinuousStep(0)
+		}
+		sat := quality.Evaluate(s.SolutionHits(), exact)
+
+		row := QualityRow{
+			Instance: in.Name, Vars: f.NumVars, ProjVars: len(f.Projection),
+			Exact: exact, Distinct: sat.Distinct, Samples: uni.Samples,
+			Coverage: sat.Coverage, ChiSquare: uni.ChiSquare, DoF: uni.DoF, P: uni.P,
+			SolPerSec: s.Stats().Throughput(),
+		}
+		rows = append(rows, row)
+		measured++
+		fmt.Printf("%-16s %6d %6d %8.0f %9d %9.3f %9.1f %8d %10.3g %12.0f\n",
+			row.Instance, row.Vars, row.ProjVars, row.Exact, row.Distinct,
+			row.Coverage, row.ChiSquare, row.DoF, row.P, row.SolPerSec)
+
+		if check {
+			if row.Coverage < qualityCoverageFloor {
+				fmt.Fprintf(os.Stderr, "paperbench: quality: %s: coverage %.4f below floor %.4f (%d/%.0f models)\n",
+					row.Instance, row.Coverage, qualityCoverageFloor, row.Distinct, row.Exact)
+				ok = false
+			}
+			if row.P < qualityPFloor {
+				fmt.Fprintf(os.Stderr, "paperbench: quality: %s: uniformity p=%.3g below floor %.3g (chi2=%.1f, dof=%d)\n",
+					row.Instance, row.P, qualityPFloor, row.ChiSquare, row.DoF)
+				ok = false
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return rows, true // interrupted sweep is not a failure
+	}
+	if check && measured < 2 {
+		fmt.Fprintf(os.Stderr, "paperbench: -checkquality needs at least two measured instances, got %d\n", measured)
+		ok = false
+	}
+	return rows, ok
+}

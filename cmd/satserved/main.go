@@ -14,8 +14,14 @@
 //
 //	POST /v1/sample?target=N&timeout=30s&tenant=T&weight=W   body: DIMACS
 //	POST /v1/sample?key=HEX&...                              cached problem
+//	POST /v1/sample?project=1,4,7&...                        projected sampling
 //	GET  /healthz
 //	GET  /metrics
+//
+// ?project= (comma list or JSON array; "c ind"/"p show" lines in the body
+// work too) restricts solution identity to the listed variables: the
+// stream delivers one verified full-model witness per projected-distinct
+// class and the meta/done lines carry projected_vars.
 //
 // SIGINT/SIGTERM start a graceful drain: new submissions get 503, running
 // streams finish (or are cancelled after -draingrace and flush partial

@@ -34,13 +34,38 @@ func smallCNF() *cnf.Formula {
 }
 
 type line struct {
-	Type       string `json:"type"`
-	Key        string `json:"key"`
-	Assignment string `json:"assignment"`
-	Unique     int    `json:"unique"`
-	Delivered  int    `json:"delivered"`
-	Timeout    bool   `json:"timeout"`
-	Drained    bool   `json:"drained"`
+	Type          string `json:"type"`
+	Key           string `json:"key"`
+	Assignment    string `json:"assignment"`
+	Unique        int    `json:"unique"`
+	Delivered     int    `json:"delivered"`
+	ProjectedVars int    `json:"projected_vars"`
+	Timeout       bool   `json:"timeout"`
+	Drained       bool   `json:"drained"`
+}
+
+// projectionSpec projects smallCNF onto the odd variable of every clause:
+// each projected variable can take either value in some model, so the
+// projected space is 2^20 — still effectively inexhaustible.
+func projectionSpec() string {
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", 2*i+1)
+	}
+	return b.String()
+}
+
+// projectedSignature restricts a streamed full assignment to the
+// projection of projectionSpec.
+func projectedSignature(assignment string) string {
+	sig := make([]byte, 20)
+	for i := 0; i < 20; i++ {
+		sig[i] = assignment[2*i]
+	}
+	return string(sig)
 }
 
 // TestServeE2E builds satserved, starts it, streams from two concurrent
@@ -168,13 +193,46 @@ func TestServeE2E(t *testing.T) {
 		}
 	}
 
-	// Open an unbounded stream, read a few solutions, then SIGTERM: the
-	// drain must end the stream with a done line carrying the partial
-	// results, and the process must exit 0.
+	// A projected request over the same formula: the server must deliver
+	// exactly target full-model witnesses with pairwise-distinct projected
+	// signatures and report the projection width in the done line.
+	projURL := fmt.Sprintf("%s/v1/sample?target=%d&project=%s", base, target, projectionSpec())
+	presp, err := http.Post(projURL, "text/plain", strings.NewReader(dimacs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		t.Fatalf("projected request: status %d: %s", presp.StatusCode, body)
+	}
+	psols, pdone := readStream(t, presp.Body)
+	presp.Body.Close()
+	if pdone == nil || pdone.ProjectedVars != 20 {
+		t.Fatalf("projected request: done line %+v, want projected_vars=20", pdone)
+	}
+	if pdone.Delivered != target || len(psols) != target {
+		t.Fatalf("projected request: delivered %d/%d, want %d", pdone.Delivered, len(psols), target)
+	}
+	sigs := map[string]bool{}
+	for _, sol := range psols {
+		if !verifies(f, sol) {
+			t.Fatalf("projected witness does not satisfy the CNF: %q", sol)
+		}
+		sig := projectedSignature(sol)
+		if sigs[sig] {
+			t.Fatalf("projected signature %s streamed twice", sig)
+		}
+		sigs[sig] = true
+	}
+
+	// Open an unbounded *projected* stream, read a few solutions, then
+	// SIGTERM: the drain must end the stream with a done line carrying the
+	// partial projected results, and the process must exit 0.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
-		base+"/v1/sample?target=0&timeout=25s", strings.NewReader(dimacs))
+		base+"/v1/sample?target=0&timeout=25s&project="+projectionSpec(), strings.NewReader(dimacs))
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -222,6 +280,9 @@ func TestServeE2E(t *testing.T) {
 	}
 	if done.Delivered < 3 || done.Delivered != sols {
 		t.Errorf("partial results: delivered=%d, read %d solutions", done.Delivered, sols)
+	}
+	if done.ProjectedVars != 20 {
+		t.Errorf("drained done line lost the projection: projected_vars=%d, want 20", done.ProjectedVars)
 	}
 
 	select {

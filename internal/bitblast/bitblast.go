@@ -144,6 +144,77 @@ func (e *Eval) VerifyMasked(cols [][]uint64, words int, mask, valid []uint64) {
 	}
 }
 
+// VerifyProject is Verify plus projected-signature extraction in the same
+// word sweep: alongside valid, it fills one packed projection column per
+// plan entry — bit r of proj[k][w] is lane r's value for the k-th
+// projection variable. plan maps projection variables to circuit nodes
+// (extract.Result.ProjectionNodes); a negative entry is a nodeless
+// variable, constant false by the AssignmentFromInputs convention. Each
+// proj[k] must be at least words long. No allocations.
+func (e *Eval) VerifyProject(cols [][]uint64, words int, valid []uint64, plan []int32, proj [][]uint64) {
+	p := e.prog
+	if len(cols) != len(p.circ.Inputs) {
+		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
+	}
+	if p.unsat {
+		for w := 0; w < words; w++ {
+			valid[w] = 0
+			for k := range plan {
+				proj[k][w] = 0
+			}
+		}
+		return
+	}
+	for w := 0; w < words; w++ {
+		e.evalWord(cols, w)
+		valid[w] = e.checkWord()
+		e.projectWord(plan, proj, w)
+	}
+}
+
+// VerifyMaskedProject is the incremental form of VerifyProject: words with
+// mask[w] == 0 keep both their cached validity and their cached projection
+// columns (a lane's projected signature, like its validity, is a pure
+// function of its packed bits). The continuous-batch scheduler's projected
+// dedup relies on this caching contract. No allocations.
+func (e *Eval) VerifyMaskedProject(cols [][]uint64, words int, mask, valid []uint64, plan []int32, proj [][]uint64) {
+	p := e.prog
+	if len(cols) != len(p.circ.Inputs) {
+		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
+	}
+	if p.unsat {
+		for w := 0; w < words; w++ {
+			if mask[w] != 0 {
+				valid[w] = 0
+				for k := range plan {
+					proj[k][w] = 0
+				}
+			}
+		}
+		return
+	}
+	for w := 0; w < words; w++ {
+		if mask[w] == 0 {
+			continue
+		}
+		e.evalWord(cols, w)
+		valid[w] = e.checkWord()
+		e.projectWord(plan, proj, w)
+	}
+}
+
+// projectWord gathers the packed projected signature of input word w from
+// the node values computed by evalWord.
+func (e *Eval) projectWord(plan []int32, proj [][]uint64, w int) {
+	for k, nd := range plan {
+		if nd >= 0 {
+			proj[k][w] = e.vals[nd]
+		} else {
+			proj[k][w] = 0
+		}
+	}
+}
+
 // OutputsMask evaluates the circuit on packed input columns and writes one
 // mask word per input word whose bit r is set iff lane r drives every
 // circuit output to its target — the packed analogue of

@@ -205,6 +205,129 @@ func TestVerifyMaskedMatchesVerify(t *testing.T) {
 	}
 }
 
+// TestVerifyProjectMatchesOracle: the packed projected signatures must
+// agree lane-by-lane (including tail lanes) with projecting the per-row
+// oracle's full assignment, for projections over every variable class (PI,
+// intermediate, PO, nodeless).
+func TestVerifyProjectMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(r, 3+r.Intn(5), 5+r.Intn(15))
+		enc := c.Tseitin()
+		ext, err := extract.Transform(enc.Formula)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := len(ext.Circuit.Inputs)
+		if n == 0 {
+			continue
+		}
+		// Random projection over the CNF variables plus one past NumVars
+		// (nodeless, defaults false).
+		nv := enc.Formula.NumVars
+		var vars []int
+		for v := 1; v <= nv; v++ {
+			if r.Intn(3) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		vars = append(vars, nv+1)
+		plan := ext.ProjectionNodes(vars)
+
+		batch := 70
+		cols, rows := packInputs(r, n, batch)
+		words := (batch + 63) / 64
+		valid := make([]uint64, words)
+		proj := make([][]uint64, len(vars))
+		for k := range proj {
+			proj[k] = make([]uint64, words)
+		}
+		ev := ext.Verifier(enc.Formula).NewEval()
+		ev.VerifyProject(cols, words, valid, plan, proj)
+
+		fullValid := make([]uint64, words)
+		ext.Verifier(enc.Formula).NewEval().Verify(cols, words, fullValid)
+		for b := 0; b < batch; b++ {
+			if valid[b>>6] != fullValid[b>>6] {
+				t.Fatalf("trial %d: VerifyProject changed validity word %d", trial, b>>6)
+			}
+			assign := ext.AssignmentFromInputs(nv, rows[b])
+			for k, v := range vars {
+				got := proj[k][b>>6]>>(uint(b)&63)&1 == 1
+				want := v <= nv && assign[v-1]
+				if got != want {
+					t.Fatalf("trial %d row %d var %d: projected=%v oracle=%v", trial, b, v, got, want)
+				}
+			}
+		}
+
+		// Masked variant: clean words keep stale projection bits, dirty
+		// words match the full sweep.
+		mask := make([]uint64, words)
+		cachedV := make([]uint64, words)
+		cachedP := make([][]uint64, len(vars))
+		for k := range cachedP {
+			cachedP[k] = make([]uint64, words)
+			for w := range cachedP[k] {
+				cachedP[k][w] = r.Uint64()
+			}
+		}
+		wantP := make([][]uint64, len(vars))
+		for k := range wantP {
+			wantP[k] = append([]uint64(nil), cachedP[k]...)
+		}
+		for w := 0; w < words; w++ {
+			if r.Intn(2) == 0 {
+				mask[w] = 1
+			}
+		}
+		ev.VerifyMaskedProject(cols, words, mask, cachedV, plan, cachedP)
+		for w := 0; w < words; w++ {
+			for k := range vars {
+				if mask[w] != 0 {
+					if cachedP[k][w] != proj[k][w] {
+						t.Fatalf("trial %d word %d var %d: masked projection diverged", trial, w, k)
+					}
+				} else if cachedP[k][w] != wantP[k][w] {
+					t.Fatalf("trial %d word %d var %d: clean projection word rewritten", trial, w, k)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyProjectZeroAllocs: the projected sweep must not allocate.
+func TestVerifyProjectZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	c := randomCircuit(r, 6, 20)
+	enc := c.Tseitin()
+	ext, err := extract.Transform(enc.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := packInputs(r, len(ext.Circuit.Inputs), 256)
+	words := 4
+	vars := []int{1, 2, enc.Formula.NumVars}
+	plan := ext.ProjectionNodes(vars)
+	proj := make([][]uint64, len(vars))
+	for k := range proj {
+		proj[k] = make([]uint64, words)
+	}
+	valid := make([]uint64, words)
+	mask := []uint64{^uint64(0), 0, 1, 0}
+	ev := ext.Verifier(enc.Formula).NewEval()
+	if allocs := testing.AllocsPerRun(100, func() {
+		ev.VerifyProject(cols, words, valid, plan, proj)
+	}); allocs != 0 {
+		t.Errorf("VerifyProject allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ev.VerifyMaskedProject(cols, words, mask, valid, plan, proj)
+	}); allocs != 0 {
+		t.Errorf("VerifyMaskedProject allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestVerifyMaskedZeroAllocs: the incremental sweep must not allocate.
 func TestVerifyMaskedZeroAllocs(t *testing.T) {
 	r := rand.New(rand.NewSource(31))

@@ -7,6 +7,8 @@ package cnf
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Lit is a DIMACS-style literal: +v for variable v, -v for its negation.
@@ -86,6 +88,13 @@ func (c Clause) Normalize() (Clause, bool) {
 type Formula struct {
 	NumVars int
 	Clauses []Clause
+	// Projection is the declared sampling set ("c ind"/"p show" lines in
+	// DIMACS): solution identity is the assignment restricted to these
+	// variables, in declared order. Empty means no projection — every
+	// variable counts. Parsing guarantees the list is duplicate-free and
+	// within 1..NumVars; programmatic writers should run
+	// ValidateProjection before handing the formula to samplers.
+	Projection []int
 }
 
 // New returns an empty formula over n variables.
@@ -138,7 +147,57 @@ func (f *Formula) Clone() *Formula {
 	for i, c := range f.Clauses {
 		g.Clauses[i] = c.Clone()
 	}
+	if f.Projection != nil {
+		g.Projection = append([]int(nil), f.Projection...)
+	}
 	return g
+}
+
+// ParseProjectionList reads a comma-separated projection variable list —
+// the spelling shared by satsample's -project flag and satserved's
+// ?project= parameter. An empty (or all-whitespace) spec is no projection
+// (nil, nil); a spec with tokens but no variables is an error, so a typo
+// like "," cannot silently mean "sample everything". Range and duplicate
+// checks are ValidateProjection's job once the variable count is known.
+func ParseProjectionList(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("cnf: bad projection variable %q", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cnf: projection list %q names no variables", spec)
+	}
+	return out, nil
+}
+
+// ValidateProjection checks a projection list against the formula: every
+// variable must be in 1..NumVars and appear at most once. It is the same
+// validation ParseDIMACS applies to "c ind"/"p show" lines, exposed for
+// callers that attach projections programmatically (e.g. from a request
+// parameter).
+func ValidateProjection(numVars int, projection []int) error {
+	seen := make(map[int]bool, len(projection))
+	for _, v := range projection {
+		if v < 1 || v > numVars {
+			return fmt.Errorf("cnf: projection variable %d out of range 1..%d", v, numVars)
+		}
+		if seen[v] {
+			return fmt.Errorf("cnf: duplicate projection variable %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
 }
 
 // OpCount2 returns the number of bit-wise operations in the formula in

@@ -134,20 +134,75 @@ func ParseDIMACSLimits(r io.Reader, lim ParseLimits) (f *Formula, err error) {
 	declaredVars := -1
 	var cur Clause
 	line, lits := 0, 0
+	projSeen := map[int]bool{}
 	checkVar := func(v int) error {
 		if lim.MaxVars > 0 && v > lim.MaxVars {
 			return limitErr("variable count", int64(lim.MaxVars))
 		}
 		return nil
 	}
+	// parseProjection consumes one "c ind ..."/"p show ..." line: positive
+	// variable ids terminated by a 0 that must be the line's last token.
+	// Multiple projection lines accumulate; duplicates are rejected here and
+	// range (vs the final NumVars) is checked once the whole input is read.
+	parseProjection := func(tokens []string) error {
+		terminated := false
+		for _, tok := range tokens {
+			if terminated {
+				return fmt.Errorf("cnf: token %q after projection terminator on line %d", tok, line)
+			}
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return fmt.Errorf("cnf: bad projection token %q on line %d", tok, line)
+			}
+			if n == 0 {
+				terminated = true
+				continue
+			}
+			if n < 0 {
+				return fmt.Errorf("cnf: negative projection variable %d on line %d", n, line)
+			}
+			if err := checkVar(n); err != nil {
+				return err
+			}
+			if projSeen[n] {
+				return fmt.Errorf("cnf: duplicate projection variable %d on line %d", n, line)
+			}
+			projSeen[n] = true
+			f.Projection = append(f.Projection, n)
+		}
+		if !terminated {
+			return fmt.Errorf("cnf: unterminated projection line %d (missing trailing 0)", line)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "c") {
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "c") {
+			// "c ind v1 v2 ... 0" is the sampling community's projection
+			// ("independent support") convention; every other c-line is a
+			// plain comment.
+			if fields := strings.Fields(text); len(fields) >= 2 && fields[0] == "c" && fields[1] == "ind" {
+				if err := parseProjection(fields[2:]); err != nil {
+					return nil, err
+				}
+			}
 			continue
 		}
 		if strings.HasPrefix(text, "p") {
 			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[1] == "show" {
+				// "p show v1 v2 ... 0": the projected-model-counting spelling
+				// of the same declaration.
+				if err := parseProjection(fields[2:]); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if len(fields) != 4 || fields[1] != "cnf" {
 				return nil, fmt.Errorf("cnf: bad problem line %d: %q", line, text)
 			}
@@ -199,6 +254,11 @@ func ParseDIMACSLimits(r io.Reader, lim ParseLimits) (f *Formula, err error) {
 	if declaredVars > f.NumVars {
 		f.NumVars = declaredVars
 	}
+	// Projection range is only checkable once the final variable count is
+	// known ("c ind" lines may precede the problem line).
+	if err := ValidateProjection(f.NumVars, f.Projection); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -229,6 +289,22 @@ func (f *Formula) WriteDIMACS(w io.Writer, comments ...string) error {
 	bw := bufio.NewWriter(w)
 	for _, c := range comments {
 		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	// The projection round-trips as "c ind" lines (the convention samplers
+	// and counters read), chunked the way real instances ship them.
+	for i := 0; i < len(f.Projection); i += 16 {
+		end := min(i+16, len(f.Projection))
+		if _, err := fmt.Fprint(bw, "c ind"); err != nil {
+			return err
+		}
+		for _, v := range f.Projection[i:end] {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, " 0"); err != nil {
 			return err
 		}
 	}

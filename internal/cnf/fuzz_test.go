@@ -27,6 +27,20 @@ func FuzzParseDIMACS(f *testing.F) {
 	f.Add("p cnf") // truncated problem line
 	f.Add("-0 0\n")
 	f.Add("1 99999999999999999999 0\n") // literal overflows int
+	// Projection ("c ind" / "p show") corpora: well-formed, malformed,
+	// out-of-range, duplicated — the parser must error cleanly, never panic
+	// or accept a silently wrong projection.
+	f.Add("c ind 1 2 0\np cnf 2 1\n1 2 0\n")
+	f.Add("p show 1 0\np cnf 2 1\n1 2 0\n")
+	f.Add("c ind 1 2\np cnf 2 1\n1 2 0\n")     // missing terminator
+	f.Add("c ind 1 0 2\np cnf 2 1\n1 2 0\n")   // tokens after terminator
+	f.Add("c ind 1 1 0\np cnf 2 1\n1 2 0\n")   // duplicate
+	f.Add("c ind 9 0\np cnf 2 1\n1 2 0\n")     // out of range
+	f.Add("c ind -3 0\np cnf 3 1\n1 2 3 0\n")  // negative
+	f.Add("c ind x 0\np cnf 2 1\n1 2 0\n")     // non-numeric
+	f.Add("c ind 99999999999999999999 0\n1 0") // projection var overflows int
+	f.Add("c ind 2 0\nc ind 1 0\np cnf 2 1\n1 2 0\n")
+	f.Add("c indent is a comment\np cnf 2 1\n1 2 0\n")
 
 	lim := cnf.ParseLimits{
 		MaxBytes:    1 << 20,
@@ -52,6 +66,10 @@ func FuzzParseDIMACS(f *testing.F) {
 		if st.NumLits > lim.MaxLiterals {
 			t.Fatalf("accepted %d literals past limit %d", st.NumLits, lim.MaxLiterals)
 		}
+		// An accepted projection is always valid: in range, duplicate-free.
+		if err := cnf.ValidateProjection(g.NumVars, g.Projection); err != nil {
+			t.Fatalf("accepted invalid projection: %v", err)
+		}
 		// Round trip: what we accepted must serialize to something the
 		// unlimited parser reads back with the same shape.
 		g2, err := cnf.ParseDIMACSString(g.DIMACSString())
@@ -60,6 +78,14 @@ func FuzzParseDIMACS(f *testing.F) {
 		}
 		if st2 := g2.Stats(); st != st2 {
 			t.Fatalf("round trip changed shape: %v -> %v", st, st2)
+		}
+		if len(g2.Projection) != len(g.Projection) {
+			t.Fatalf("round trip changed projection: %v -> %v", g.Projection, g2.Projection)
+		}
+		for i := range g.Projection {
+			if g2.Projection[i] != g.Projection[i] {
+				t.Fatalf("round trip changed projection: %v -> %v", g.Projection, g2.Projection)
+			}
 		}
 		// The limit error class must be stable: reparsing with a byte limit
 		// below the serialized size yields ErrLimit, not a parse error.

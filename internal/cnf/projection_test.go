@@ -1,0 +1,121 @@
+package cnf_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestParseProjectionCInd(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("c ind 1 3 5 0\np cnf 6 2\n1 2 0\n-3 4 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5}
+	if len(f.Projection) != len(want) {
+		t.Fatalf("projection %v, want %v", f.Projection, want)
+	}
+	for i, v := range want {
+		if f.Projection[i] != v {
+			t.Fatalf("projection %v, want %v", f.Projection, want)
+		}
+	}
+}
+
+func TestParseProjectionPShow(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("p cnf 4 1\n1 2 0\np show 2 4 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Projection) != 2 || f.Projection[0] != 2 || f.Projection[1] != 4 {
+		t.Fatalf("projection %v, want [2 4]", f.Projection)
+	}
+}
+
+func TestParseProjectionMultiLine(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("c ind 1 2 0\nc ind 3 0\np cnf 4 1\n1 -2 3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Projection) != 3 {
+		t.Fatalf("projection %v, want [1 2 3]", f.Projection)
+	}
+}
+
+func TestParseProjectionErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"duplicate same line", "c ind 1 1 0\np cnf 2 1\n1 2 0\n"},
+		{"duplicate across lines", "c ind 1 0\nc ind 1 0\np cnf 2 1\n1 2 0\n"},
+		{"duplicate across conventions", "c ind 2 0\np show 2 0\np cnf 2 1\n1 2 0\n"},
+		{"out of range", "c ind 7 0\np cnf 2 1\n1 2 0\n"},
+		{"negative", "c ind -1 0\np cnf 2 1\n1 2 0\n"},
+		{"unterminated", "c ind 1 2\np cnf 2 1\n1 2 0\n"},
+		{"tokens after terminator", "c ind 1 0 2\np cnf 2 1\n1 2 0\n"},
+		{"non-numeric", "c ind one 0\np cnf 2 1\n1 2 0\n"},
+		{"show unterminated", "p show 1\np cnf 2 1\n1 2 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := cnf.ParseDIMACSString(tc.in); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestPlainCommentsStayComments(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("c industrial instance\nc indent 3\np cnf 2 1\n1 2 0\n")
+	if err == nil {
+		if len(f.Projection) != 0 {
+			t.Fatalf("comment parsed as projection: %v", f.Projection)
+		}
+		return
+	}
+	t.Fatalf("comment lines rejected: %v", err)
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("c ind 2 1 4 0\np cnf 4 2\n1 -2 0\n3 4 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cnf.ParseDIMACSString(f.DIMACSString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Projection) != 3 || g.Projection[0] != 2 || g.Projection[1] != 1 || g.Projection[2] != 4 {
+		t.Fatalf("round-tripped projection %v, want [2 1 4] (declared order preserved)", g.Projection)
+	}
+	h := f.Clone()
+	h.Projection[0] = 3
+	if f.Projection[0] != 2 {
+		t.Fatal("Clone shares the projection slice")
+	}
+}
+
+func TestProjectionLimitChecked(t *testing.T) {
+	in := "c ind 70000 0\np cnf 70000 1\n1 2 0\n"
+	_, err := cnf.ParseDIMACSLimits(strings.NewReader(in), cnf.ParseLimits{MaxVars: 1 << 16})
+	if !errors.Is(err, cnf.ErrLimit) {
+		t.Fatalf("projection variable past MaxVars: got %v, want ErrLimit", err)
+	}
+}
+
+func TestValidateProjection(t *testing.T) {
+	if err := cnf.ValidateProjection(5, []int{1, 5, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cnf.ValidateProjection(5, []int{1, 6}); err == nil {
+		t.Fatal("accepted out-of-range variable")
+	}
+	if err := cnf.ValidateProjection(5, []int{2, 2}); err == nil {
+		t.Fatal("accepted duplicate variable")
+	}
+	if err := cnf.ValidateProjection(5, nil); err != nil {
+		t.Fatalf("nil projection must validate: %v", err)
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"math"
 
 	"repro/internal/bitblast"
 	"repro/internal/cnf"
@@ -82,6 +84,43 @@ func (p *Problem) NewSampler(cfg Config) (*Sampler, error) {
 // assignment (assign[v-1] = value of CNF variable v).
 func (p *Problem) AssignmentFromInputs(sol []bool) []bool {
 	return p.ext.AssignmentFromInputs(p.formula.NumVars, sol)
+}
+
+// OutputWeights aggregates per-clause loss weights onto the engine's
+// constrained outputs through the extraction's provenance table
+// (extract.Result.OutputSources): an output's weight is the mean weight of
+// the CNF clauses its constraint consumed. Outputs without recorded
+// provenance (or compiled from a pre-provenance extraction result) keep
+// weight 1, as do clauses absorbed into intermediate resolutions — the
+// weighting is a loss-shaping knob, not an exact clause decomposition.
+// clauseWeights must have one finite, non-negative entry per CNF clause.
+func (p *Problem) OutputWeights(clauseWeights []float64) ([]float32, error) {
+	if len(clauseWeights) != p.formula.NumClauses() {
+		return nil, fmt.Errorf("core: %d clause weights for %d clauses",
+			len(clauseWeights), p.formula.NumClauses())
+	}
+	for i, w := range clauseWeights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("core: clause weight %d is %v (want finite, >= 0)", i, w)
+		}
+	}
+	out := make([]float32, len(p.eng.outputs))
+	for k, o := range p.eng.outputs {
+		out[k] = 1
+		if int(o.src) >= len(p.ext.OutputSources) {
+			continue
+		}
+		srcs := p.ext.OutputSources[o.src]
+		if len(srcs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, ci := range srcs {
+			sum += clauseWeights[ci]
+		}
+		out[k] = float32(sum / float64(len(srcs)))
+	}
+	return out, nil
 }
 
 // MemoryEstimate returns the resident bytes a sampler session over this

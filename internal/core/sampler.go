@@ -46,6 +46,26 @@ type Config struct {
 	// and verifies once. Retained as the compatibility mode and as the
 	// differential oracle for the continuous scheduler.
 	RoundMode bool
+	// Projection lists the CNF variables that define solution identity (the
+	// DIMACS "c ind"/"p show" sampling set): retired rows are deduplicated
+	// by their assignment restricted to these variables, extracted in the
+	// same bit-parallel sweep that verifies the full model against the full
+	// CNF. Unique/Solutions then count projected-distinct solutions, each
+	// retained as its first full-model witness. Nil defaults to the
+	// formula's own declared projection; an empty formula projection means
+	// no projection (full-assignment identity). Variables must be within
+	// 1..NumVars and duplicate-free.
+	Projection []int
+	// ClauseWeights scales each CNF clause's contribution to the GD loss
+	// (one finite, non-negative entry per clause): the weights aggregate
+	// onto the engine's constrained outputs through the extraction's
+	// clause-provenance table (Problem.OutputWeights) and reshape the
+	// descent — the knob that trades raw throughput for coverage of
+	// under-sampled regions. Verification is unaffected: a solution must
+	// still satisfy every clause. Nil means uniform weights. The constant
+	// loss term of outputs folded at compile time stays unweighted (it
+	// carries no gradient).
+	ClauseWeights []float64
 }
 
 func (c Config) withDefaults() Config {
@@ -146,8 +166,22 @@ type Sampler struct {
 	valid  []uint64   // per-word validity masks
 	rowbuf []uint64   // one packed candidate row, for hashing/dedup
 
-	unique map[uint64][]int32 // row hash → indices into sols (collision chain)
+	// Projected-sampling state (nil projPlan = full-assignment identity).
+	// The verify sweep fills projCols with each lane's projected signature
+	// (bit r of projCols[k][r/64] is row r's value for projection variable
+	// k); dedup hashes prowbuf and compares against psigs on collision.
+	projection []int      // CNF variables defining solution identity
+	projPlan   []int32    // circuit node per projection variable (-1 = const false)
+	projbuf    []uint64   // backing store for projCols
+	projCols   [][]uint64 // one packed column per projection variable
+	prowbuf    []uint64   // one packed projected row, for hashing/dedup
+	psigs      [][]uint64 // packed projected signature per retained solution
+
+	outW []float32 // per-engine-output loss weights (nil = uniform)
+
+	unique map[uint64][]int32 // signature hash → indices into sols (collision chain)
 	sols   [][]bool           // unique PI assignments in discovery order
+	hits   []int32            // retired-candidate observations per solution
 	round  int64
 	stats  Stats
 
@@ -246,6 +280,35 @@ func newSession(p *Problem, cfg Config) (*Sampler, error) {
 	}
 	s.valid = make([]uint64, words)
 	s.rowbuf = make([]uint64, (n+63)/64)
+
+	// Projection: an explicit config wins; nil inherits the formula's
+	// declared sampling set ("c ind"/"p show"). Empty means full identity.
+	proj := cfg.Projection
+	if proj == nil {
+		proj = p.formula.Projection
+	}
+	if len(proj) > 0 {
+		if err := cnf.ValidateProjection(p.formula.NumVars, proj); err != nil {
+			return nil, err
+		}
+		s.projection = append([]int(nil), proj...)
+		s.projPlan = p.ext.ProjectionNodes(s.projection)
+		np := len(s.projection)
+		s.projbuf = make([]uint64, np*words)
+		s.projCols = make([][]uint64, np)
+		for k := 0; k < np; k++ {
+			s.projCols[k] = s.projbuf[k*words : (k+1)*words]
+		}
+		s.prowbuf = make([]uint64, (np+63)/64)
+	}
+
+	if cfg.ClauseWeights != nil {
+		w, err := p.OutputWeights(cfg.ClauseWeights)
+		if err != nil {
+			return nil, err
+		}
+		s.outW = w
+	}
 	return s, nil
 }
 
@@ -306,8 +369,46 @@ func (s *Sampler) SolutionsFrom(from int) [][]bool {
 	return out
 }
 
-// UniqueCount returns the number of unique solutions found so far.
+// UniqueCount returns the number of unique solutions found so far
+// (projected-distinct when a projection is active).
 func (s *Sampler) UniqueCount() int { return len(s.sols) }
+
+// Projection returns the CNF variables defining solution identity for this
+// session (nil when sampling over the full assignment).
+func (s *Sampler) Projection() []int {
+	if s.projection == nil {
+		return nil
+	}
+	return append([]int(nil), s.projection...)
+}
+
+// SolutionHits returns, per unique solution (same indexing as Solutions),
+// how many retired satisfied candidates mapped to it — the empirical
+// frequency table behind the quality oracle's uniformity tests. The first
+// observation counts, so hits[i] >= 1 and sum(hits) is the number of valid
+// retired candidates.
+func (s *Sampler) SolutionHits() []int {
+	out := make([]int, len(s.hits))
+	for i, h := range s.hits {
+		out[i] = int(h)
+	}
+	return out
+}
+
+// ProjectedSolutionAt returns the i-th unique solution's projected
+// assignment, in projection order (indices [0, UniqueCount())). It returns
+// nil when the session has no projection.
+func (s *Sampler) ProjectedSolutionAt(i int) []bool {
+	if s.projection == nil {
+		return nil
+	}
+	sig := s.psigs[i]
+	out := make([]bool, len(s.projection))
+	for k := range out {
+		out[k] = sig[k>>6]>>(uint(k)&63)&1 == 1
+	}
+	return out
+}
 
 // FullAssignmentAt expands the i-th unique solution into a freshly
 // allocated dense CNF assignment without first copying the primary-input
@@ -472,12 +573,26 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 
 	// Loss and output-adjoint seeding: dL/dY = 2(Y − T). Registers hold
 	// zero between steps, so seeding accumulates without a clearing pass.
+	// Clause-weighted sessions scale each output's contribution (L =
+	// Σ w·(Y−T)², dL/dY = 2w(Y−T)); the unweighted loop stays branch-free
+	// for the common case.
 	sum := 0.0
-	for t := 0; t < nt; t++ {
-		for _, o := range e.outputs {
-			diff := vals[int(o.slot)*tile+t] - o.target
-			sum += float64(diff) * float64(diff)
-			grads[int(o.greg)*tile+t] += 2 * diff
+	if s.outW == nil {
+		for t := 0; t < nt; t++ {
+			for _, o := range e.outputs {
+				diff := vals[int(o.slot)*tile+t] - o.target
+				sum += float64(diff) * float64(diff)
+				grads[int(o.greg)*tile+t] += 2 * diff
+			}
+		}
+	} else {
+		for t := 0; t < nt; t++ {
+			for oi, o := range e.outputs {
+				w := s.outW[oi]
+				diff := vals[int(o.slot)*tile+t] - o.target
+				sum += float64(w) * float64(diff) * float64(diff)
+				grads[int(o.greg)*tile+t] += 2 * w * diff
+			}
 		}
 	}
 	e.backwardTile(vals, grads, tile, nt)
@@ -544,7 +659,11 @@ func (s *Sampler) collect() int {
 		}
 	}
 
-	s.veval.Verify(s.cols, words, s.valid)
+	if s.projPlan != nil {
+		s.veval.VerifyProject(s.cols, words, s.valid, s.projPlan, s.projCols)
+	} else {
+		s.veval.Verify(s.cols, words, s.valid)
+	}
 	if tail := uint(batch) & 63; tail != 0 {
 		s.valid[words-1] &= (1 << tail) - 1
 	}
@@ -564,12 +683,50 @@ func (s *Sampler) collect() int {
 }
 
 // recordRow folds the hardened candidate at lane r of the packed columns
-// into the dedup pool, reporting whether it was new.
+// into the dedup pool, reporting whether it was new. Identity is the
+// projected signature when a projection is active (the full model at lane
+// r was already verified against the full CNF; it is retained as the
+// projected class's witness), the full primary-input row otherwise. Every
+// observation — new or duplicate — counts toward the matched solution's
+// hit tally.
 func (s *Sampler) recordRow(r int) bool {
+	if s.projPlan != nil {
+		return s.recordRowProjected(r)
+	}
 	h := s.packRow(r)
-	if s.isDuplicate(h) {
+	if idx, dup := s.findDup(h); dup {
+		s.hits[idx]++
 		return false
 	}
+	s.recordSolution(h, r, nil)
+	return true
+}
+
+// recordRowProjected dedups lane r by its packed projected signature.
+func (s *Sampler) recordRowProjected(r int) bool {
+	h := s.packProjRow(r)
+	for _, idx := range s.unique[h] {
+		sig := s.psigs[idx]
+		same := true
+		for i, w := range s.prowbuf {
+			if sig[i] != w {
+				same = false
+				break
+			}
+		}
+		if same {
+			s.hits[idx]++
+			return false
+		}
+	}
+	s.recordSolution(h, r, append([]uint64(nil), s.prowbuf...))
+	return true
+}
+
+// recordSolution appends lane r's primary-input row as a new unique
+// solution under hash h, with psig as its projected signature (nil in
+// full-identity mode).
+func (s *Sampler) recordSolution(h uint64, r int, psig []uint64) {
 	s.stats.Valid++
 	n := s.prob.eng.numInputs
 	sol := make([]bool, n)
@@ -579,7 +736,10 @@ func (s *Sampler) recordRow(r int) bool {
 	}
 	s.unique[h] = append(s.unique[h], int32(len(s.sols)))
 	s.sols = append(s.sols, sol)
-	return true
+	s.hits = append(s.hits, 1)
+	if psig != nil {
+		s.psigs = append(s.psigs, psig)
+	}
 }
 
 // packRow gathers candidate row r from the packed columns into rowbuf and
@@ -596,10 +756,23 @@ func (s *Sampler) packRow(r int) uint64 {
 	return bitblast.Hash64(s.rowbuf)
 }
 
-// isDuplicate reports whether the candidate currently in rowbuf is already
-// in the pool, comparing actual bits on hash hits so a 64-bit collision
-// can never merge distinct solutions.
-func (s *Sampler) isDuplicate(h uint64) bool {
+// packProjRow gathers candidate row r's projected signature from the
+// packed projection columns into prowbuf and returns its 64-bit hash.
+func (s *Sampler) packProjRow(r int) uint64 {
+	w, b := r>>6, uint(r)&63
+	for i := range s.prowbuf {
+		s.prowbuf[i] = 0
+	}
+	for k := range s.projCols {
+		s.prowbuf[k>>6] |= (s.projCols[k][w] >> b & 1) << (uint(k) & 63)
+	}
+	return bitblast.Hash64(s.prowbuf)
+}
+
+// findDup reports whether the candidate currently in rowbuf is already in
+// the pool (returning its index), comparing actual bits on hash hits so a
+// 64-bit collision can never merge distinct solutions.
+func (s *Sampler) findDup(h uint64) (int32, bool) {
 	for _, idx := range s.unique[h] {
 		sol := s.sols[idx]
 		same := true
@@ -610,10 +783,10 @@ func (s *Sampler) isDuplicate(h uint64) bool {
 			}
 		}
 		if same {
-			return true
+			return idx, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 func sigmoid32(v float32) float32 {

@@ -198,9 +198,14 @@ func (s *Sampler) sweep(target int) int {
 		s.dirty[w] |= bit
 	}
 
-	// Masked verify: clean words keep their cached masks (validity is a
-	// pure function of the packed bits).
-	s.veval.VerifyMasked(s.cols, words, s.dirty, s.valid)
+	// Masked verify: clean words keep their cached masks (validity — and,
+	// under projection, the projected signature — is a pure function of the
+	// packed bits).
+	if s.projPlan != nil {
+		s.veval.VerifyMaskedProject(s.cols, words, s.dirty, s.valid, s.projPlan, s.projCols)
+	} else {
+		s.veval.VerifyMasked(s.cols, words, s.dirty, s.valid)
+	}
 	s.stats.Sweeps++
 
 	// Retire: satisfied rows harvest into the pool and recycle; unsatisfied

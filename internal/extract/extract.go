@@ -76,6 +76,14 @@ type Result struct {
 	Bindings []Binding
 	// NodeOf maps a CNF variable to its circuit node.
 	NodeOf map[int]circuit.NodeID
+	// OutputSources records, for each Circuit.Outputs entry (same order),
+	// the indices of the original CNF clauses whose constraints produced
+	// that output: the clauses consumed by a primary-output resolution, or
+	// the whole window of a fallback. It is the provenance table behind
+	// clause-weighted GD — per-clause weights aggregate onto the engine
+	// outputs they constrain. Clauses consumed by intermediate resolutions
+	// feed no output directly; their weights are absorbed structurally.
+	OutputSources [][]int
 	// TransformTime is the wall-clock cost of the transformation (the
 	// paper's Fig. 4 right).
 	TransformTime time.Duration
@@ -99,6 +107,22 @@ func (r *Result) GateHistogram() map[string]int {
 		h[nd.Type.String()]++
 	}
 	return h
+}
+
+// ProjectionNodes maps projection variables to circuit nodes for the
+// bit-parallel projected-signature path (bitblast.Eval.VerifyProject):
+// out[k] is the node of vars[k], or -1 when the variable never received a
+// node and defaults to false, matching AssignmentFromInputs.
+func (r *Result) ProjectionNodes(vars []int) []int32 {
+	out := make([]int32, len(vars))
+	for i, v := range vars {
+		if id, ok := r.NodeOf[v]; ok {
+			out[i] = int32(id)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
 }
 
 // AssignmentFromInputs evaluates the extracted circuit under the given
@@ -143,18 +167,20 @@ func Transform(f *cnf.Formula) (*Result, error) {
 	}
 
 	var window []cnf.Clause
+	var winIdx []int // original clause index of each window clause (provenance)
 	for i, c := range f.Clauses {
 		if len(c) == 0 {
 			return nil, fmt.Errorf("extract: clause %d is empty (formula unsatisfiable)", i)
 		}
 		window = append(window, c)
+		winIdx = append(winIdx, i)
 		// Try resolutions until the window is stable.
 		for {
 			v, expr, ok := t.tryResolve(window)
 			if !ok {
 				break
 			}
-			window = t.commit(window, v, expr)
+			window, winIdx = t.commit(window, winIdx, v, expr)
 			t.res.Windows++
 			if len(window) == 0 {
 				break
@@ -175,13 +201,13 @@ func Transform(f *cnf.Formula) (*Result, error) {
 				}
 			}
 			if flush {
-				t.fallback(window)
-				window = nil
+				t.fallback(window, winIdx)
+				window, winIdx = nil, nil
 			}
 		}
 	}
 	if len(window) > 0 {
-		t.fallback(window)
+		t.fallback(window, winIdx)
 	}
 	t.res.TransformTime = time.Since(start)
 	return t.res, nil
@@ -295,10 +321,34 @@ func complementary(f, g *logic.Expr) bool {
 
 // commit applies a successful resolution: record the binding, classify v,
 // instantiate the expression as gates, and drop exactly the clauses
-// containing v from the window.
-func (t *transformer) commit(window []cnf.Clause, v int, expr *logic.Expr) []cnf.Clause {
+// containing v from the window. winIdx carries each window clause's
+// original index; consumed clauses become the provenance of a constant
+// (primary-output) resolution's circuit output.
+func (t *transformer) commit(window []cnf.Clause, winIdx []int, v int, expr *logic.Expr) ([]cnf.Clause, []int) {
 	expr = logic.Simplify(expr)
 	t.res.Bindings = append(t.res.Bindings, Binding{Var: v, Expr: expr})
+
+	// Partition first: clauses containing v are exactly the ones this
+	// resolution consumes (in-place compaction is safe — the write index
+	// never passes the read index).
+	out := window[:0]
+	outIdx := winIdx[:0]
+	var consumed []int
+	for k, c := range window {
+		drop := false
+		for _, l := range c {
+			if l.Var() == v {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			consumed = append(consumed, winIdx[k])
+		} else {
+			out = append(out, c)
+			outIdx = append(outIdx, winIdx[k])
+		}
+	}
 
 	if val, isConst := expr.IsConst(); isConst {
 		// v is a primary output constrained to the constant. If v already
@@ -306,6 +356,7 @@ func (t *transformer) commit(window []cnf.Clause, v int, expr *logic.Expr) []cnf
 		// free input carrying the constraint directly.
 		id := t.nodeForOutput(v)
 		t.res.Circuit.MarkOutput(id, val)
+		t.res.OutputSources = append(t.res.OutputSources, consumed)
 		t.kind[v] = PrimaryOutput
 		t.classed[v] = true
 		t.res.PrimaryOutputs = append(t.res.PrimaryOutputs, v)
@@ -321,21 +372,7 @@ func (t *transformer) commit(window []cnf.Clause, v int, expr *logic.Expr) []cnf
 		t.classed[v] = true
 		t.res.Intermediates = append(t.res.Intermediates, v)
 	}
-
-	out := window[:0]
-	for _, c := range window {
-		keep := true
-		for _, l := range c {
-			if l.Var() == v {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, c)
-		}
-	}
-	return out
+	return out, outIdx
 }
 
 // nodeForOutput returns v's node for an output constraint without forcing a
@@ -352,8 +389,9 @@ func (t *transformer) nodeForOutput(v int) circuit.NodeID {
 
 // fallback converts an unresolvable window into an auxiliary output: the
 // conjunction of its clauses, constrained to 1 (the paper's under-specified
-// case, e.g. the trailing "10 0" unit clause in Fig. 1).
-func (t *transformer) fallback(window []cnf.Clause) {
+// case, e.g. the trailing "10 0" unit clause in Fig. 1). The whole window
+// is the output's clause provenance.
+func (t *transformer) fallback(window []cnf.Clause, winIdx []int) {
 	var terms []*logic.Expr
 	for _, c := range window {
 		var lits []*logic.Expr
@@ -368,6 +406,7 @@ func (t *transformer) fallback(window []cnf.Clause) {
 	}
 	t.res.Bindings = append(t.res.Bindings, Binding{Var: 0, Expr: expr})
 	t.res.Fallbacks++
+	srcs := append([]int(nil), winIdx...)
 
 	if val, isConst := expr.IsConst(); isConst {
 		if !val {
@@ -376,6 +415,7 @@ func (t *transformer) fallback(window []cnf.Clause) {
 			// an unsatisfiable function rather than a silent drop.
 			id := t.res.Circuit.AddConst(false)
 			t.res.Circuit.MarkOutput(id, true)
+			t.res.OutputSources = append(t.res.OutputSources, srcs)
 		}
 		return
 	}
@@ -385,4 +425,5 @@ func (t *transformer) fallback(window []cnf.Clause) {
 	}
 	id := t.res.Circuit.InstantiateExpr(expr, env)
 	t.res.Circuit.MarkOutput(id, true)
+	t.res.OutputSources = append(t.res.OutputSources, srcs)
 }

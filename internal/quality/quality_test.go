@@ -1,0 +1,144 @@
+package quality_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/quality"
+)
+
+func mustParse(t *testing.T, s string) *cnf.Formula {
+	t.Helper()
+	f, err := cnf.ParseDIMACSString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExactCountFull(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"p cnf 2 1\n1 2 0\n", 3},                                    // x1 ∨ x2
+		{"p cnf 2 2\n1 0\n-2 0\n", 1},                                // x1 ∧ ¬x2
+		{"p cnf 3 1\n1 2 0\n", 6},                                    // free x3 doubles
+		{"p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", 2401}, // 7^4
+		{"p cnf 1 2\n1 0\n-1 0\n", 0},                                // unsat
+	}
+	for _, tc := range cases {
+		got, err := quality.ExactCount(mustParse(t, tc.in), nil, quality.CountLimits{})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q: count %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestExactCountProjected(t *testing.T) {
+	cases := []struct {
+		in   string
+		proj []int
+		want float64
+	}{
+		// x1 ∨ x2 projected on x1: both values extend.
+		{"p cnf 2 1\n1 2 0\n", []int{1}, 2},
+		// x1 ∧ ¬x2 projected on x2: only false.
+		{"p cnf 2 2\n1 0\n-2 0\n", []int{2}, 1},
+		// 7^4 instance projected on one variable per clause: all 16 patterns.
+		{"p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", []int{1, 4, 7, 10}, 16},
+		// xor chain x1⊕x2=1 projected on x1: 2.
+		{"p cnf 2 2\n1 2 0\n-1 -2 0\n", []int{1}, 2},
+		// Projection declared in the formula itself.
+		{"c ind 1 4 7 10 0\np cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", []int{1, 4, 7, 10}, 16},
+	}
+	for _, tc := range cases {
+		got, err := quality.ExactCount(mustParse(t, tc.in), tc.proj, quality.CountLimits{})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q proj %v: count %v, want %v", tc.in, tc.proj, got, tc.want)
+		}
+	}
+}
+
+func TestExactCountLimits(t *testing.T) {
+	f := mustParse(t, "p cnf 2 1\n1 2 0\n")
+	if _, err := quality.ExactCount(f, nil, quality.CountLimits{MaxVars: 1}); !errors.Is(err, quality.ErrTooLarge) {
+		t.Fatalf("MaxVars violation: got %v, want ErrTooLarge", err)
+	}
+	if _, err := quality.ExactCount(f, []int{5}, quality.CountLimits{}); err == nil {
+		t.Fatal("accepted out-of-range projection")
+	}
+}
+
+// TestChiSquareSurvival pins the p-value implementation to standard
+// chi-square critical values (0.05 upper tail).
+func TestChiSquareSurvival(t *testing.T) {
+	cases := []struct {
+		stat float64
+		dof  int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{18.307, 10, 0.05},
+		{124.342, 100, 0.05},
+		{0, 5, 1},
+	}
+	for _, tc := range cases {
+		got := quality.ChiSquareSurvival(tc.stat, tc.dof)
+		if math.Abs(got-tc.want) > 2e-4 {
+			t.Errorf("Q(%v, dof=%d) = %v, want ~%v", tc.stat, tc.dof, got, tc.want)
+		}
+	}
+	// Monotone in the statistic.
+	if quality.ChiSquareSurvival(50, 10) >= quality.ChiSquareSurvival(10, 10) {
+		t.Error("survival not decreasing in the statistic")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform observations over a fully covered space: the
+	// statistic is 0 and p = 1.
+	stat, dof, p := quality.ChiSquareUniform([]int{25, 25, 25, 25}, 4)
+	if stat != 0 || dof != 3 || p != 1 {
+		t.Fatalf("uniform: stat=%v dof=%d p=%v", stat, dof, p)
+	}
+	// Grossly skewed observations: p must collapse.
+	_, _, pSkew := quality.ChiSquareUniform([]int{97, 1, 1, 1}, 4)
+	if pSkew > 1e-9 {
+		t.Fatalf("skewed counts got p=%v, want ~0", pSkew)
+	}
+	// Unseen cells are penalized: full coverage beats partial coverage at
+	// the same sample size.
+	_, _, pFull := quality.ChiSquareUniform([]int{25, 25, 25, 25}, 4)
+	_, _, pHalf := quality.ChiSquareUniform([]int{50, 50}, 4)
+	if pHalf >= pFull {
+		t.Fatalf("missing cells not penalized: full=%v half=%v", pFull, pHalf)
+	}
+	// Degenerate inputs.
+	if _, _, p := quality.ChiSquareUniform(nil, 4); p != 1 {
+		t.Fatal("no samples must be p=1")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	r := quality.Evaluate([]int{10, 12, 9, 11}, 4)
+	if r.Distinct != 4 || r.Samples != 42 || r.Coverage != 1 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.P <= 0.5 {
+		t.Fatalf("near-uniform tallies scored p=%v", r.P)
+	}
+	half := quality.Evaluate([]int{10, 12}, 4)
+	if half.Coverage != 0.5 {
+		t.Fatalf("coverage %v, want 0.5", half.Coverage)
+	}
+}

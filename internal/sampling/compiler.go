@@ -16,7 +16,12 @@ import (
 // which its compiled Problem is stored. The hash covers the variable count
 // and the exact clause/literal sequence (Algorithm 1 is order-sensitive,
 // so two formulas that differ only in clause order are genuinely different
-// compilation inputs).
+// compilation inputs), plus the declared projection: a formula's sampling
+// set is part of its identity (sessions inherit it by default), so two
+// inputs that differ only in their "c ind" lines must not share a cache
+// slot. The projection suffix is only written when non-empty, which keeps
+// every unprojected formula's key unchanged and cannot collide — the
+// clause section's length is fully determined by its leading counts.
 func HashFormula(f *cnf.Formula) string {
 	h := sha256.New()
 	var buf [binary.MaxVarintLen64]byte
@@ -30,6 +35,12 @@ func HashFormula(f *cnf.Formula) string {
 		writeInt(int64(len(c)))
 		for _, l := range c {
 			writeInt(int64(l))
+		}
+	}
+	if len(f.Projection) > 0 {
+		writeInt(int64(len(f.Projection)))
+		for _, v := range f.Projection {
+			writeInt(int64(v))
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -69,6 +69,15 @@ type SessionConfig struct {
 	// barriers and the saturation guard counts zero-gain rounds. Retained
 	// as the compatibility mode and the scheduler's differential baseline.
 	RoundMode bool
+	// Projection lists the CNF variables defining solution identity (the
+	// "c ind"/"p show" sampling set): the session counts and dedups
+	// projected-distinct solutions, streaming each projected class's first
+	// full-model witness. Nil inherits the formula's declared projection;
+	// see core.Config.Projection for validation rules.
+	Projection []int
+	// ClauseWeights scales each CNF clause's contribution to the GD loss
+	// (nil = uniform); see core.Config.ClauseWeights.
+	ClauseWeights []float64
 }
 
 // NewSession builds a sampling session over this problem. Sessions are
@@ -76,15 +85,17 @@ type SessionConfig struct {
 // service can create one per request.
 func (p *Problem) NewSession(cfg SessionConfig) (*Session, error) {
 	coreCfg := core.Config{
-		BatchSize:    cfg.BatchSize,
-		Iterations:   cfg.Iterations,
-		LearningRate: cfg.LearningRate,
-		Seed:         cfg.Seed,
-		Device:       cfg.Device,
-		InitRange:    cfg.InitRange,
-		Momentum:     cfg.Momentum,
-		MaxAge:       cfg.MaxAge,
-		RoundMode:    cfg.RoundMode,
+		BatchSize:     cfg.BatchSize,
+		Iterations:    cfg.Iterations,
+		LearningRate:  cfg.LearningRate,
+		Seed:          cfg.Seed,
+		Device:        cfg.Device,
+		InitRange:     cfg.InitRange,
+		Momentum:      cfg.Momentum,
+		MaxAge:        cfg.MaxAge,
+		RoundMode:     cfg.RoundMode,
+		Projection:    cfg.Projection,
+		ClauseWeights: cfg.ClauseWeights,
 	}
 	if cfg.BatchSize == 0 && cfg.MemoryBudget > 0 {
 		workers := cfg.Device.Workers()
@@ -142,6 +153,16 @@ func (s *Session) Core() *core.Sampler { return s.core }
 
 // Stats returns the session's accumulated unified stats.
 func (s *Session) Stats() Stats { return s.stats }
+
+// Projection returns the CNF variables defining this session's solution
+// identity (nil when sampling over the full assignment). When set, the
+// session's Unique count and Solutions are projected-distinct.
+func (s *Session) Projection() []int { return s.core.Projection() }
+
+// SolutionHits returns the per-solution retirement tallies (same indexing
+// as Solutions) — the empirical frequency table the quality oracle's
+// uniformity tests consume.
+func (s *Session) SolutionHits() []int { return s.core.SolutionHits() }
 
 // Stream implements Sampler: it drives the continuous-batch scheduler
 // until target unique solutions exist (target <= 0 means unbounded),

@@ -19,11 +19,13 @@ const rateWindow = 10
 type metrics struct {
 	start time.Time
 
-	mu        sync.Mutex
-	requests  map[string]int64 // completed requests by outcome
-	solutions int64            // solutions streamed to clients, total
-	bucket    [rateWindow]int64
-	stamp     [rateWindow]int64 // unix second each bucket last belonged to
+	mu            sync.Mutex
+	requests      map[string]int64 // completed requests by outcome
+	solutions     int64            // solutions streamed to clients, total
+	projRequests  int64            // completed requests that sampled a projection
+	projSolutions int64            // projected-distinct solutions streamed, total
+	bucket        [rateWindow]int64
+	stamp         [rateWindow]int64 // unix second each bucket last belonged to
 }
 
 func newMetrics() *metrics {
@@ -50,16 +52,28 @@ func (m *metrics) request(outcome string) {
 	m.mu.Unlock()
 }
 
-// addSolutions records n freshly streamed solutions at time now.
-func (m *metrics) addSolutions(n int, now time.Time) {
+// addSolutions records n freshly streamed solutions at time now; projected
+// marks them as projected-distinct deliveries.
+func (m *metrics) addSolutions(n int, projected bool, now time.Time) {
 	sec := now.Unix()
 	i := int(sec % rateWindow)
 	m.mu.Lock()
 	m.solutions += int64(n)
+	if projected {
+		m.projSolutions += int64(n)
+	}
 	if m.stamp[i] != sec {
 		m.stamp[i], m.bucket[i] = sec, 0
 	}
 	m.bucket[i] += int64(n)
+	m.mu.Unlock()
+}
+
+// projectedRequest counts one completed request that sampled under a
+// projection.
+func (m *metrics) projectedRequest() {
+	m.mu.Lock()
+	m.projRequests++
 	m.mu.Unlock()
 }
 
@@ -108,6 +122,7 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 
 	m.mu.Lock()
 	solutions := m.solutions
+	projRequests, projSolutions := m.projRequests, m.projSolutions
 	shed := m.shedTotalLocked()
 	outcomes := make([]string, 0, len(m.requests))
 	for k := range m.requests {
@@ -128,6 +143,10 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	fmt.Fprintf(w, "satserved_shed_total %d\n", shed)
 	fmt.Fprintf(w, "# TYPE satserved_solutions_total counter\n")
 	fmt.Fprintf(w, "satserved_solutions_total %d\n", solutions)
+	fmt.Fprintf(w, "# TYPE satserved_projected_requests_total counter\n")
+	fmt.Fprintf(w, "satserved_projected_requests_total %d\n", projRequests)
+	fmt.Fprintf(w, "# TYPE satserved_projected_solutions_total counter\n")
+	fmt.Fprintf(w, "satserved_projected_solutions_total %d\n", projSolutions)
 	fmt.Fprintf(w, "# TYPE satserved_sol_per_sec gauge\n")
 	fmt.Fprintf(w, "satserved_sol_per_sec %.3f\n", m.solRate(now))
 

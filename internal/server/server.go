@@ -45,6 +45,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -246,10 +247,13 @@ func (s *Server) unreserve(est int64) {
 // (the same BatchForBudget sizing NewSession applies to SessionMemory) and
 // the session's estimated resident bytes — the admission-control unit.
 // The estimate adds the dedup pool's worst case at the request's effective
-// target (packed primary-input rows plus hash/dedup overhead), so a
+// target (packed primary-input rows plus hash/dedup overhead), and for a
+// projected session (projVars > 0) the projection state the core memory
+// model does not know about: the packed projection columns (projVars ×
+// batch bits) and one stored signature per retained solution — so a
 // stream that runs all the way to its cap is still inside its
 // reservation.
-func (s *Server) sessionShape(prob *sampling.Problem, target int) (batch int, est int64) {
+func (s *Server) sessionShape(prob *sampling.Problem, target, projVars int) (batch int, est int64) {
 	workers := s.cfg.Device.Workers()
 	if workers < 1 {
 		workers = 1
@@ -263,6 +267,10 @@ func (s *Server) sessionShape(prob *sampling.Problem, target int) (batch int, es
 	}
 	est = prob.Core().MemoryEstimate(workers, batch, false)
 	est += int64(target) * int64(prob.NumInputs()/8+24)
+	if projVars > 0 {
+		est += int64(projVars) * int64(batch) / 8         // packed projection columns
+		est += int64(target) * int64((projVars+63)/64*8+24) // per-solution signatures + slice overhead
+	}
 	return batch, est
 }
 
@@ -277,15 +285,37 @@ func (s *Server) errorBody(w http.ResponseWriter, status int, msg, outcome, retr
 	s.met.request(outcome)
 }
 
+// parseProjectionSpec reads a ?project= value: either a JSON array
+// ("[1,4,7]") or the comma-separated list satsample's -project flag also
+// speaks (shared cnf.ParseProjectionList). Syntax only — range and
+// duplicate validation happens once the formula's variable count is known
+// (cnf.ValidateProjection).
+func parseProjectionSpec(spec string) ([]int, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "[") {
+		var vars []int
+		if err := json.Unmarshal([]byte(spec), &vars); err != nil {
+			return nil, fmt.Errorf("bad projection JSON: %v", err)
+		}
+		return vars, nil
+	}
+	return cnf.ParseProjectionList(spec)
+}
+
 // metaLine opens every sampling stream: the problem's cache key (usable
 // for later submit-by-key requests), the GD batch the session runs, the
-// effective target, and how long admission took.
+// effective target, the projection width (0 = full assignment), and how
+// long admission took.
 type metaLine struct {
-	Type    string  `json:"type"` // "meta"
-	Key     string  `json:"key"`
-	Batch   int     `json:"batch"`
-	Target  int     `json:"target"`
-	QueueMS float64 `json:"queue_ms"`
+	Type          string  `json:"type"` // "meta"
+	Key           string  `json:"key"`
+	Batch         int     `json:"batch"`
+	Target        int     `json:"target"`
+	ProjectedVars int     `json:"projected_vars,omitempty"`
+	QueueMS       float64 `json:"queue_ms"`
 }
 
 // solutionLine carries one verified solution as a 0/1 string over CNF
@@ -295,17 +325,21 @@ type solutionLine struct {
 	Assignment string `json:"assignment"`
 }
 
-// doneLine closes every stream, successful or drained.
+// doneLine closes every stream, successful or drained. Under a projection
+// ProjectedVars is non-zero and Unique/Delivered count projected-distinct
+// solutions (each streamed assignment is a full-model witness of one
+// projected class).
 type doneLine struct {
-	Type      string  `json:"type"` // "done"
-	Unique    int     `json:"unique"`
-	Delivered int     `json:"delivered"`
-	Calls     int     `json:"calls"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	SolPerSec float64 `json:"sol_per_sec"`
-	Timeout   bool    `json:"timeout"`
-	Exhausted bool    `json:"exhausted"`
-	Drained   bool    `json:"drained"`
+	Type          string  `json:"type"` // "done"
+	Unique        int     `json:"unique"`
+	Delivered     int     `json:"delivered"`
+	ProjectedVars int     `json:"projected_vars,omitempty"`
+	Calls         int     `json:"calls"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	SolPerSec     float64 `json:"sol_per_sec"`
+	Timeout       bool    `json:"timeout"`
+	Exhausted     bool    `json:"exhausted"`
+	Drained       bool    `json:"drained"`
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -359,6 +393,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = min(d, s.cfg.MaxTimeout)
 	}
+	// ?project= declares the sampling set for this request (comma list or
+	// JSON array); it overrides any "c ind" lines in a posted body. Range
+	// and duplicate validation follows once the formula is resolved.
+	projection, perr := parseProjectionSpec(r.URL.Query().Get("project"))
+	if perr != nil {
+		s.errorBody(w, http.StatusBadRequest, perr.Error(), outcomeBadRequest, "")
+		return
+	}
 
 	// Resolve the problem: by cache key (no body) or by compiling the
 	// posted DIMACS through the shared single-flight cache. New formulas
@@ -370,6 +412,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		p, ok := s.compiler.Lookup(key)
 		if !ok {
 			s.errorBody(w, http.StatusNotFound, "unknown problem key", outcomeNotFound, "")
+			return
+		}
+		// A key identifies a compiled artifact; a request projection rides
+		// on the session instead of the cache key (the artifact is
+		// projection-independent — only solution identity changes).
+		if err := cnf.ValidateProjection(p.Formula().NumVars, projection); err != nil {
+			s.errorBody(w, http.StatusBadRequest, err.Error(), outcomeBadRequest, "")
 			return
 		}
 		prob = p
@@ -390,6 +439,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			<-s.parseGate
 			s.errorBody(w, http.StatusBadRequest, err.Error(), outcomeBadRequest, "")
 			return
+		}
+		// The request projection becomes part of the formula — and so of
+		// its content-hash cache key — before any cache probe: a formula's
+		// sampling set is part of its identity, and sessions inherit it.
+		if projection != nil {
+			if err := cnf.ValidateProjection(f.NumVars, projection); err != nil {
+				<-s.parseGate
+				s.errorBody(w, http.StatusBadRequest, err.Error(), outcomeBadRequest, "")
+				return
+			}
+			f.Projection = projection
 		}
 		if p, ok := s.compiler.Lookup(sampling.HashFormula(f)); ok {
 			<-s.parseGate
@@ -420,7 +480,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// Admission control. Memory first: reserving before queueing keeps the
 	// wait queue free of jobs that could not run anyway, and the ledger
 	// covers queued + active sessions so the budget can never be exceeded.
-	batch, est := s.sessionShape(prob, target)
+	// The effective projection width is known pre-admission: the explicit
+	// spec, or the formula's declared set the session would inherit.
+	effProj := len(projection)
+	if effProj == 0 {
+		effProj = len(prob.Formula().Projection)
+	}
+	batch, est := s.sessionShape(prob, target, effProj)
 	if !s.reserve(est) {
 		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "memory",
 			"estimate", est, "key", short(prob.Key()))
@@ -447,14 +513,16 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	queueWait := time.Since(qt0)
 
 	sess, err := prob.NewSession(sampling.SessionConfig{
-		BatchSize: batch,
-		Seed:      s.cfg.Seed + id,
-		Device:    s.cfg.Device,
+		BatchSize:  batch,
+		Seed:       s.cfg.Seed + id,
+		Device:     s.cfg.Device,
+		Projection: projection, // nil inherits the formula's declared set
 	})
 	if err != nil {
 		s.errorBody(w, http.StatusInternalServerError, err.Error(), outcomeStreamErr, "")
 		return
 	}
+	projVars := len(sess.Projection())
 
 	// The session context: request deadline + client disconnect (via
 	// r.Context) + drain cancellation.
@@ -479,7 +547,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := writeLine(metaLine{
 		Type: "meta", Key: prob.Key(), Batch: batch, Target: target,
-		QueueMS: float64(queueWait.Microseconds()) / 1e3,
+		ProjectedVars: projVars,
+		QueueMS:       float64(queueWait.Microseconds()) / 1e3,
 	}); err != nil {
 		s.met.request(outcomeStreamErr)
 		return
@@ -494,7 +563,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		delivered++
-		s.met.addSolutions(1, time.Now())
+		s.met.addSolutions(1, projVars > 0, time.Now())
 		if target > 0 && delivered >= target {
 			return sampling.Stop
 		}
@@ -507,15 +576,19 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		outcome = outcomeStreamErr
 	} else {
 		_ = writeLine(doneLine{
-			Type: "done", Unique: st.Unique, Delivered: delivered, Calls: st.Calls,
+			Type: "done", Unique: st.Unique, Delivered: delivered,
+			ProjectedVars: projVars, Calls: st.Calls,
 			ElapsedMS: float64(st.Elapsed.Microseconds()) / 1e3,
 			SolPerSec: st.Throughput(), Timeout: st.Timeout,
 			Exhausted: st.Exhausted, Drained: drained,
 		})
 	}
+	if projVars > 0 {
+		s.met.projectedRequest()
+	}
 	s.met.request(outcome)
 	s.log.Info("sample", "id", id, "tenant", tenant, "key", short(prob.Key()),
-		"target", target, "unique", st.Unique, "delivered", delivered,
+		"target", target, "projected", projVars, "unique", st.Unique, "delivered", delivered,
 		"queue_ms", queueWait.Milliseconds(), "elapsed_ms", st.Elapsed.Milliseconds(),
 		"total_ms", time.Since(t0).Milliseconds(), "timeout", st.Timeout,
 		"exhausted", st.Exhausted, "drained", drained, "outcome", outcome)

@@ -21,17 +21,18 @@ import (
 
 // streamLine is the union of every NDJSON line the server emits.
 type streamLine struct {
-	Type       string  `json:"type"`
-	Key        string  `json:"key"`
-	Batch      int     `json:"batch"`
-	Target     int     `json:"target"`
-	Assignment string  `json:"assignment"`
-	Unique     int     `json:"unique"`
-	Delivered  int     `json:"delivered"`
-	SolPerSec  float64 `json:"sol_per_sec"`
-	Timeout    bool    `json:"timeout"`
-	Exhausted  bool    `json:"exhausted"`
-	Drained    bool    `json:"drained"`
+	Type          string  `json:"type"`
+	Key           string  `json:"key"`
+	Batch         int     `json:"batch"`
+	Target        int     `json:"target"`
+	ProjectedVars int     `json:"projected_vars"`
+	Assignment    string  `json:"assignment"`
+	Unique        int     `json:"unique"`
+	Delivered     int     `json:"delivered"`
+	SolPerSec     float64 `json:"sol_per_sec"`
+	Timeout       bool    `json:"timeout"`
+	Exhausted     bool    `json:"exhausted"`
+	Drained       bool    `json:"drained"`
 }
 
 type stream struct {
@@ -327,8 +328,8 @@ func TestShedMemoryBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The estimate of one capped "unbounded" stream (target=0 -> cap),
-	// dedup pool included.
-	_, est := s.sessionShape(prob, maxTarget)
+	// dedup pool included (no projection).
+	_, est := s.sessionShape(prob, maxTarget, 0)
 
 	_, ts := testServer(t, Config{
 		Compiler:     sampling.NewCompiler(0),
