@@ -1,9 +1,8 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -11,14 +10,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/benchgen"
 	"repro/internal/cnf"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/tensor"
 )
 
@@ -26,8 +26,8 @@ import (
 // the in-process satserved instance.
 type ServeRow struct {
 	Clients   int     `json:"clients"`
-	Requests  int     `json:"requests"` // completed 200s
-	Shed      int     `json:"shed"`     // 429s observed
+	Requests  int     `json:"requests"` // completed streams (after client-side retries)
+	Shed      int     `json:"shed"`     // 429/503 legs absorbed by the retrying client
 	Errors    int     `json:"errors"`   // failed requests (transport or unexpected status)
 	P50MS     float64 `json:"p50_ms"`   // request latency, median
 	P99MS     float64 `json:"p99_ms"`   // request latency, 99th percentile
@@ -101,9 +101,22 @@ func runServe(ctx context.Context, compiler *sampling.Compiler, dev tensor.Devic
 }
 
 // serveLevel runs one concurrency level: `clients` goroutines, each
-// issuing sequential requests round-robin over the formulas.
+// issuing sequential requests round-robin over the formulas through the
+// retrying client — sheds are absorbed by its Retry-After backoff (and
+// counted), so every request either completes or is a real error.
 func serveLevel(ctx context.Context, base string, bodies []string, clients, perClient, target int) ServeRow {
 	row := ServeRow{Clients: clients}
+	var shedLegs atomic.Int64
+	cl := client.New(base, client.Config{
+		MaxAttempts: 6,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		OnRetry: func(attempt, status int, wait time.Duration, resume bool) {
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				shedLegs.Add(1)
+			}
+		},
+	})
 	var mu sync.Mutex
 	var lats []time.Duration
 	start := time.Now()
@@ -118,70 +131,36 @@ func serveLevel(ctx context.Context, base string, bodies []string, clients, perC
 				}
 				body := bodies[(c+i)%len(bodies)]
 				t0 := time.Now()
-				sols, status, err := serveRequest(ctx, base, body, target)
+				res, err := cl.Sample(ctx, client.Request{
+					DIMACS: body, Target: target, Timeout: 10 * time.Second,
+				})
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
 				case err != nil:
 					// Cancellation mid-run drops the sample; anything else
 					// is a real failure and must fail the sweep.
-					if ctx.Err() == nil {
+					if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
 						row.Errors++
 						fmt.Fprintln(os.Stderr, "paperbench: serve request:", err)
 					}
-				case status == http.StatusTooManyRequests:
-					row.Shed++
-				case status == http.StatusOK:
-					row.Requests++
-					row.Solutions += sols
-					lats = append(lats, lat)
 				default:
-					row.Errors++
-					fmt.Fprintf(os.Stderr, "paperbench: serve request: unexpected status %d\n", status)
+					row.Requests++
+					row.Solutions += len(res.Solutions)
+					lats = append(lats, lat)
 				}
 				mu.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
+	row.Shed = int(shedLegs.Load())
 	wall := time.Since(start)
 	if wall > 0 {
 		row.SolPerSec = float64(row.Solutions) / wall.Seconds()
 	}
 	row.P50MS, row.P99MS = percentiles(lats)
 	return row
-}
-
-// serveRequest issues one sampling request and counts streamed solutions.
-func serveRequest(ctx context.Context, base, body string, target int) (sols, status int, err error) {
-	url := fmt.Sprintf("%s/v1/sample?target=%d&timeout=10s", base, target)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
-	if err != nil {
-		return 0, 0, err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return 0, resp.StatusCode, nil
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	var ln struct {
-		Type string `json:"type"`
-	}
-	for sc.Scan() {
-		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
-			return sols, resp.StatusCode, err
-		}
-		if ln.Type == "solution" {
-			sols++
-		}
-	}
-	return sols, resp.StatusCode, sc.Err()
 }
 
 func percentiles(lats []time.Duration) (p50, p99 float64) {

@@ -7,6 +7,7 @@
 //	satsample -in formula.cnf [-n 1000] [-timeout 30s] [-sampler gd]
 //	          [-batch 4096] [-iters 5] [-lr 10] [-seed 1] [-workers 0]
 //	          [-project 1,4,7] [-v] [-out solutions.txt] [-maxcnf 67108864]
+//	          [-checkpoint state.ckpt] [-resume state.ckpt]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Samplers: gd (this work), diff, cmsgen, unigen.
@@ -23,6 +24,17 @@
 // Sampling is cancellable: SIGINT/SIGTERM or the -timeout deadline stop
 // the run cleanly, and every solution found so far is flushed to the
 // output before exit — a partial result, not an empty file.
+//
+// Checkpointing (gd only): -checkpoint writes the session's full state to
+// a file when the run ends — however it ends, including an interrupt —
+// and -resume restores it, continuing the exact same stream (the
+// checkpoint embeds the formula, so -in is not needed). An interrupted
+// run resumed this way emits precisely the solutions the uninterrupted
+// run would have: concatenating the two outputs reproduces it — provided
+// both legs ask for the same -n, because the scheduler steers its final
+// ticks by the remaining target (see DESIGN.md, "Zero-loss operations").
+// Resuming toward a different -n keeps every delivered solution but may
+// reorder the tail relative to a single run at the new target.
 package main
 
 import (
@@ -68,19 +80,43 @@ func run() (err error) {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sampling loop to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		maxCNF  = flag.Int64("maxcnf", 64<<20, "maximum DIMACS input bytes; var/clause/literal limits derive from it (0 = unlimited)")
+		ckptOut = flag.String("checkpoint", "", "write the session checkpoint to this file when the run ends (gd only)")
+		resume  = flag.String("resume", "", "resume from a checkpoint file instead of -in (gd only; batch/seed/projection come from the checkpoint)")
 	)
 	flag.Parse()
-	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "satsample: -in is required")
+	if *inPath == "" && *resume == "" {
+		fmt.Fprintln(os.Stderr, "satsample: -in (or -resume) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if (*ckptOut != "" || *resume != "") && *sampler != "gd" {
+		return fmt.Errorf("checkpoint/resume require -sampler gd (baselines carry no restorable state)")
+	}
+	if *resume != "" && (*inPath != "" || *project != "") {
+		return fmt.Errorf("-resume replaces -in and carries its own projection; drop -in/-project")
+	}
 	// The same derived-limit validation path satserved applies to network
 	// input (cnf.LimitsForBytes), so every entry point rejects oversized
-	// or degenerate formulas identically.
-	f, rerr := cnf.ReadDIMACSFileLimits(*inPath, cnf.LimitsForBytes(*maxCNF))
-	if rerr != nil {
-		return rerr
+	// or degenerate formulas identically. A resumed run reads its formula
+	// out of the checkpoint envelope instead.
+	var f *cnf.Formula
+	var ck *sampling.Checkpoint
+	if *resume != "" {
+		env, rerr := os.ReadFile(*resume)
+		if rerr != nil {
+			return rerr
+		}
+		ck, rerr = sampling.DecodeCheckpoint(env)
+		if rerr != nil {
+			return rerr
+		}
+		f = ck.Formula()
+	} else {
+		var rerr error
+		f, rerr = cnf.ReadDIMACSFileLimits(*inPath, cnf.LimitsForBytes(*maxCNF))
+		if rerr != nil {
+			return rerr
+		}
 	}
 	if *project != "" {
 		proj, perr := cnf.ParseProjectionList(*project)
@@ -137,15 +173,29 @@ func run() (err error) {
 	defer stop()
 
 	start := time.Now()
-	s, err := buildSampler(f, *sampler, sampling.SessionConfig{
-		BatchSize:    *batch,
-		Iterations:   *iters,
-		LearningRate: float32(*lr),
-		Seed:         *seed,
-		Device:       dev,
-	}, *verbose)
-	if err != nil {
-		return err
+	var s sampling.Sampler
+	alreadyDelivered := 0
+	if ck != nil {
+		sess, rerr := sampling.RestoreSession(ck, dev)
+		if rerr != nil {
+			return rerr
+		}
+		alreadyDelivered = sess.Delivered()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "resume: %s, %d solutions already delivered\n", ck.Key()[:12], alreadyDelivered)
+		}
+		s = sess
+	} else {
+		s, err = buildSampler(f, *sampler, sampling.SessionConfig{
+			BatchSize:    *batch,
+			Iterations:   *iters,
+			LearningRate: float32(*lr),
+			Seed:         *seed,
+			Device:       dev,
+		}, *verbose)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Profiling brackets the sampling loop only: the CPU profile starts
@@ -222,8 +272,19 @@ func run() (err error) {
 	fmt.Fprintf(os.Stderr, "%s: %d %s solutions in %v (%.1f sol/s, %d calls, total %v)%s\n",
 		s.Name(), st.Unique, kind, st.Elapsed.Round(time.Millisecond), st.Throughput(), st.Calls,
 		time.Since(start).Round(time.Millisecond), status)
-	if written != st.Unique {
-		return fmt.Errorf("streamed %d of %d solutions", written, st.Unique)
+	if *ckptOut != "" {
+		sess := s.(*sampling.Session) // gd was enforced at flag parse
+		env, cerr := sess.Checkpoint()
+		if cerr != nil {
+			return fmt.Errorf("checkpoint: %w", cerr)
+		}
+		if cerr := os.WriteFile(*ckptOut, env, 0o644); cerr != nil {
+			return fmt.Errorf("checkpoint: %w", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint: %d bytes -> %s (resume with -resume %s)\n", len(env), *ckptOut, *ckptOut)
+	}
+	if written != st.Unique-alreadyDelivered {
+		return fmt.Errorf("streamed %d of %d solutions", written, st.Unique-alreadyDelivered)
 	}
 	return nil
 }

@@ -8,13 +8,15 @@
 //	satserved [-addr :8080] [-workers 4] [-queue 64] [-cache 64]
 //	          [-cachebudget 256] [-membudget 512] [-sessionmem 64]
 //	          [-maxtarget 100000] [-maxtimeout 2m] [-maxcnf 8388608]
-//	          [-draingrace 5s] [-logjson] [-portfile path]
+//	          [-draingrace 5s] [-spool dir] [-spoolbudget 32]
+//	          [-logjson] [-portfile path]
 //
 // Endpoints:
 //
 //	POST /v1/sample?target=N&timeout=30s&tenant=T&weight=W   body: DIMACS
 //	POST /v1/sample?key=HEX&...                              cached problem
 //	POST /v1/sample?project=1,4,7&...                        projected sampling
+//	POST /v1/sample?resume=TOKEN&...                         re-attach a drained stream
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -25,7 +27,10 @@
 //
 // SIGINT/SIGTERM start a graceful drain: new submissions get 503, running
 // streams finish (or are cancelled after -draingrace and flush partial
-// results), then the process exits 0.
+// results), then the process exits 0. A drained stream's done line carries
+// a one-shot resume token; with -spool set the parked checkpoints survive
+// the restart on disk, and POST /v1/sample?resume=<token> continues the
+// stream exactly where the drain cut it — zero solutions lost.
 package main
 
 import (
@@ -47,6 +52,15 @@ import (
 	"repro/internal/tensor"
 )
 
+// spoolBytes maps the -spoolbudget MiB flag onto Config.SpoolBudget's
+// convention (0 = server default, negative disables).
+func spoolBytes(mib int64) int64 {
+	if mib <= 0 {
+		return mib
+	}
+	return mib << 20
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "satserved:", err)
@@ -67,6 +81,8 @@ func run() error {
 		maxTimeout  = flag.Duration("maxtimeout", 2*time.Minute, "maximum per-request deadline")
 		maxCNF      = flag.Int64("maxcnf", 8<<20, "maximum DIMACS input bytes (shape limits derive from it; 0 = the service default limits — a network server never parses unbounded input)")
 		drainGrace  = flag.Duration("draingrace", 5*time.Second, "how long in-flight streams may run after SIGTERM")
+		spoolDir    = flag.String("spool", "", "directory for drained-stream checkpoints (empty = in-memory spool only; tokens die with the process)")
+		spoolBudget = flag.Int64("spoolbudget", 32, "checkpoint spool byte budget (MiB; 0 = default, <0 disables resume)")
 		devWorkers  = flag.Int("devworkers", 0, "GD device workers (0 = all CPUs, 1 = sequential)")
 		seed        = flag.Int64("seed", 1, "base seed for per-request sessions")
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON")
@@ -98,6 +114,8 @@ func run() error {
 		MaxTimeout:    *maxTimeout,
 		Limits:        cnf.LimitsForBytes(*maxCNF),
 		DrainGrace:    *drainGrace,
+		SpoolDir:      *spoolDir,
+		SpoolBudget:   spoolBytes(*spoolBudget),
 		Seed:          *seed,
 		Log:           log,
 	})

@@ -1,0 +1,298 @@
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server/client"
+)
+
+// chaosLine adds the resume token to the shared stream-line shape.
+type chaosLine struct {
+	line
+	Resumed bool   `json:"resumed"`
+	Resume  string `json:"resume"`
+}
+
+// servedProc is one running satserved process.
+type servedProc struct {
+	cmd    *exec.Cmd
+	base   string
+	exited chan struct{}
+	err    *error
+}
+
+// startServed boots the satserved binary over the given spool directory
+// and waits for its port file.
+func startServed(t *testing.T, bin, spoolDir string) *servedProc {
+	t.Helper()
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-portfile", portFile,
+		"-workers", "2",
+		"-devworkers", "2",
+		"-draingrace", "200ms",
+		"-maxtarget", "1000000",
+		"-spool", spoolDir,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &servedProc{cmd: cmd, exited: make(chan struct{}), err: new(error)}
+	go func() { *p.err = cmd.Wait(); close(p.exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-p.exited:
+		default:
+			cmd.Process.Kill()
+			<-p.exited
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			p.base = "http://" + string(b)
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("satserved never wrote its port file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// term SIGTERMs the process and asserts a clean (code 0) exit.
+func (p *servedProc) term(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-p.exited:
+		if *p.err != nil {
+			t.Fatalf("satserved exited non-zero after SIGTERM: %v", *p.err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("satserved did not exit after SIGTERM")
+	}
+}
+
+// chaosDiff archives the mismatching streams under $CHAOS_DIFF_DIR (when
+// set) so CI uploads them as an artifact before the test fails.
+func chaosDiff(t *testing.T, merged, baseline []string) {
+	dir := os.Getenv("CHAOS_DIFF_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos diff dir: %v", err)
+		return
+	}
+	os.WriteFile(filepath.Join(dir, "merged.txt"), []byte(strings.Join(merged, "\n")), 0o644)
+	os.WriteFile(filepath.Join(dir, "baseline.txt"), []byte(strings.Join(baseline, "\n")), 0o644)
+	t.Logf("chaos diff archived in %s", dir)
+}
+
+// TestChaosDrainResume is the process-level zero-loss differential: a
+// deterministic fault plan interrupts a live stream with SIGTERM, the
+// process restarts over the same spool directory, the stream resumes via
+// its token — through the retrying client, which rides out the restart
+// window — and the merged interrupted+resumed stream must equal the
+// fault-free run solution for solution. A corrupt spool entry (damaged by
+// the plan's deterministic corruption stream) must miss cleanly, and the
+// slow-sink arm backs the reader off at every delivery on the way.
+func TestChaosDrainResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "satserved")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/satserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building satserved: %v", err)
+	}
+	spoolDir := t.TempDir()
+	plan, err := faultinject.ParsePlan("seed=9;cancel@sol=40;corrupt;slow=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(plan)
+
+	// Phase 1: a pinned-seed unbounded stream against server 1; the
+	// injector's cancel point (the 40th delivered solution, each delivery
+	// slowed by the slow-sink arm) triggers the SIGTERM.
+	srv1 := startServed(t, bin, spoolDir)
+	f := smallCNF()
+	dimacs := f.DIMACSString()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv1.base+"/v1/sample?target=0&seed=7&timeout=55s", strings.NewReader(dimacs))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var sols1 []string
+	var done1 *chaosLine
+	killed := false
+	for sc.Scan() {
+		var ln chaosLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		switch ln.Type {
+		case "solution":
+			sols1 = append(sols1, ln.Assignment)
+			if !killed && inj.Advance(faultinject.PointSol) {
+				killed = true
+				if err := srv1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case "done":
+			d := ln
+			done1 = &d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broke during drain: %v", err)
+	}
+	if !killed || done1 == nil || !done1.Drained {
+		t.Fatalf("stream did not end in a drain (killed=%v done=%+v)", killed, done1)
+	}
+	if done1.Resume == "" {
+		t.Fatal("drained done line carries no resume token")
+	}
+	if done1.Delivered != len(sols1) {
+		t.Fatalf("done says %d delivered, stream carried %d", done1.Delivered, len(sols1))
+	}
+	for _, sol := range sols1 {
+		if !verifies(f, sol) {
+			t.Fatalf("unsatisfying assignment before the kill: %q", sol)
+		}
+	}
+	srv1WaitExit(t, srv1)
+
+	// Plant a decoy checkpoint: the real envelope, damaged by the plan's
+	// deterministic corruption stream, filed under a valid-looking token.
+	// Server 2 indexes it at startup; taking it must fail the content
+	// check and miss, never resume a corrupted stream.
+	env, err := os.ReadFile(filepath.Join(spoolDir, done1.Resume+".ckpt"))
+	if err != nil {
+		t.Fatalf("spooled checkpoint missing on disk: %v", err)
+	}
+	decoySum := sha256.Sum256([]byte("decoy"))
+	decoyTok := hex.EncodeToString(decoySum[:])
+	if err := os.WriteFile(filepath.Join(spoolDir, decoyTok+".ckpt"), inj.Corrupt(env), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restart over the same spool directory. The retrying client
+	// resumes the real token (riding out any not-yet-listening window via
+	// its connection-refused backoff) and the decoy must 404.
+	srv2 := startServed(t, bin, spoolDir)
+	cl := client.New(srv2.base, client.Config{
+		MaxAttempts: 10,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  time.Second,
+	})
+	if _, err := cl.Sample(ctx, client.Request{Resume: decoyTok, Target: 0, Timeout: 5 * time.Second}); err == nil {
+		t.Fatal("corrupted decoy checkpoint resumed successfully")
+	} else {
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+			t.Fatalf("corrupted decoy: %v, want a 404", err)
+		}
+	}
+	res, err := cl.Sample(ctx, client.Request{Resume: done1.Resume, Target: 0, Timeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !res.Meta.Resumed || res.Meta.Delivered != len(sols1) {
+		t.Fatalf("resumed meta %+v, want resumed with delivered=%d", res.Meta, len(sols1))
+	}
+	if len(res.Solutions) == 0 {
+		t.Fatal("resumed stream delivered nothing before its timeout")
+	}
+	merged := append(append([]string(nil), sols1...), res.Solutions...)
+
+	// Phase 3: the fault-free differential — the same pinned seed,
+	// uninterrupted, must reproduce the merged stream exactly. All three
+	// legs ran with the same admission target (the unbounded cap), so the
+	// scheduler's trajectory is identical tick for tick.
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+	breq, _ := http.NewRequestWithContext(bctx, http.MethodPost,
+		srv2.base+"/v1/sample?target=0&seed=7&timeout=55s", strings.NewReader(dimacs))
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline: status %d", bresp.StatusCode)
+	}
+	bsc := bufio.NewScanner(bresp.Body)
+	bsc.Buffer(make([]byte, 1<<16), 1<<22)
+	baseline := make([]string, 0, len(merged))
+	for len(baseline) < len(merged) && bsc.Scan() {
+		var ln chaosLine
+		if err := json.Unmarshal(bsc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad baseline line %q: %v", bsc.Text(), err)
+		}
+		if ln.Type == "solution" {
+			baseline = append(baseline, ln.Assignment)
+		}
+	}
+	// Tear the baseline stream down before the final SIGTERM: the server
+	// is still pushing an unbounded stream, and drain cannot cancel a
+	// handler blocked on writing to a reader that has stopped reading.
+	bcancel()
+	bresp.Body.Close()
+	if len(baseline) < len(merged) {
+		t.Fatalf("baseline produced only %d/%d solutions: %v", len(baseline), len(merged), bsc.Err())
+	}
+	for i := range merged {
+		if merged[i] != baseline[i] {
+			chaosDiff(t, merged, baseline)
+			t.Fatalf("zero-loss violated: merged stream diverges from the fault-free run at solution %d (of %d)", i, len(merged))
+		}
+	}
+
+	srv2.term(t)
+}
+
+// srv1WaitExit waits for the SIGTERMed first server to finish cleanly.
+func srv1WaitExit(t *testing.T, p *servedProc) {
+	t.Helper()
+	select {
+	case <-p.exited:
+		if *p.err != nil {
+			t.Fatalf("satserved exited non-zero after SIGTERM: %v", *p.err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("satserved did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,43 @@
+package cnf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ContentHash returns the formula's content hash — the identity under
+// which its compiled artifact is cached, and the key a session snapshot
+// carries so a checkpoint can only restore onto the identical compiled
+// problem. The hash covers the variable count and the exact clause/literal
+// sequence (the transformation is order-sensitive, so two formulas that
+// differ only in clause order are genuinely different compilation inputs),
+// plus the declared projection: a formula's sampling set is part of its
+// identity (sessions inherit it by default), so two inputs that differ
+// only in their "c ind" lines must not share an identity. The projection
+// suffix is only written when non-empty, which keeps every unprojected
+// formula's hash unchanged and cannot collide — the clause section's
+// length is fully determined by its leading counts.
+func (f *Formula) ContentHash() string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	writeInt(int64(f.NumVars))
+	writeInt(int64(len(f.Clauses)))
+	for _, c := range f.Clauses {
+		writeInt(int64(len(c)))
+		for _, l := range c {
+			writeInt(int64(l))
+		}
+	}
+	if len(f.Projection) > 0 {
+		writeInt(int64(len(f.Projection)))
+		for _, v := range f.Projection {
+			writeInt(int64(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -23,6 +23,7 @@ type Problem struct {
 	eng     *engine
 	verify  *bitblast.Program
 	tile    int
+	key     string // cnf.Formula.ContentHash — the snapshot/cache identity
 }
 
 // Compile lowers a transformation result into a shareable Problem: it
@@ -37,6 +38,7 @@ func Compile(f *cnf.Formula, ext *extract.Result) (*Problem, error) {
 		ext:     ext,
 		eng:     compileEngine(ext.Circuit),
 		verify:  ext.Verifier(f),
+		key:     f.ContentHash(),
 	}
 	// Tile rows so one worker's full forward+backward working set
 	// (vals + adjoints) stays cache-resident regardless of batch size.
@@ -62,6 +64,11 @@ func CompileCNF(f *cnf.Formula) (*Problem, error) {
 
 // Formula returns the CNF this problem was compiled from.
 func (p *Problem) Formula() *cnf.Formula { return p.formula }
+
+// Key returns the formula's content hash — the identity session snapshots
+// are keyed by (RestoreSampler refuses a snapshot whose key differs) and
+// the cache key the sampling layer stores this artifact under.
+func (p *Problem) Key() string { return p.key }
 
 // Extraction returns the transformation result backing this problem.
 func (p *Problem) Extraction() *extract.Result { return p.ext }

@@ -114,24 +114,7 @@ func (s *Sampler) ActiveRows() int {
 // already consumed.
 func (s *Sampler) initContinuous() {
 	batch := s.cfg.BatchSize
-	if s.ages == nil {
-		s.ages = make([]int32, batch)
-		s.restarts = make([]uint32, batch)
-		s.changed = make([]bool, batch)
-		s.retiredFl = make([]bool, batch)
-		s.dirty = make([]uint64, (batch+63)/64)
-		s.active = make([]int32, s.numTiles)
-		s.contStepFn = func(w, lo, hi int) {
-			sc := &s.scratch[w]
-			sum := 0.0
-			for t := lo; t < hi; t++ {
-				if nt := int(s.active[t]); nt > 0 {
-					sum += s.stepTile(sc, t*s.stile, nt)
-				}
-			}
-			s.loss[w] = sum
-		}
-	}
+	s.ensureContState()
 	s.initRound()
 	s.track = true
 	for r := 0; r < batch; r++ {
@@ -148,6 +131,33 @@ func (s *Sampler) initContinuous() {
 	s.staleRet = 0
 	s.exhausted = false
 	s.contReady = true
+}
+
+// ensureContState lazily allocates the per-row scheduler arrays (round-mode
+// sessions never pay for them). Shared by initContinuous and the snapshot
+// restore path, which fills the arrays from a checkpoint instead of
+// re-seeding them.
+func (s *Sampler) ensureContState() {
+	if s.ages != nil {
+		return
+	}
+	batch := s.cfg.BatchSize
+	s.ages = make([]int32, batch)
+	s.restarts = make([]uint32, batch)
+	s.changed = make([]bool, batch)
+	s.retiredFl = make([]bool, batch)
+	s.dirty = make([]uint64, (batch+63)/64)
+	s.active = make([]int32, s.numTiles)
+	s.contStepFn = func(w, lo, hi int) {
+		sc := &s.scratch[w]
+		sum := 0.0
+		for t := lo; t < hi; t++ {
+			if nt := int(s.active[t]); nt > 0 {
+				sum += s.stepTile(sc, t*s.stile, nt)
+			}
+		}
+		s.loss[w] = sum
+	}
 }
 
 // leaveContinuous invalidates the scheduler view (a round-mode call is

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/cnf"
+	"repro/internal/tensor"
+)
+
+// streamSig renders a sampler's full solution stream (discovery order) as
+// comparable strings, including hit tallies and projected signatures — the
+// observable a resumed session must reproduce byte for byte.
+func streamSig(s *Sampler) []string {
+	sols := s.Solutions()
+	hits := s.SolutionHits()
+	out := make([]string, len(sols))
+	for i := range sols {
+		out[i] = fmtBits(sols[i])
+		if s.Projection() != nil {
+			out[i] += "|" + fmtBits(s.ProjectedSolutionAt(i))
+		}
+		out[i] += fmt.Sprintf("#%d", hits[i])
+	}
+	return out
+}
+
+// statsEqual compares two Stats ignoring wall-clock Elapsed.
+func statsEqual(a, b Stats) bool {
+	a.Elapsed, b.Elapsed = 0, 0
+	return a == b
+}
+
+// roundTrip pushes a snapshot through the binary codec, failing the test on
+// any codec error — so every restore in this file also exercises
+// MarshalBinary/DecodeSnapshot, not just the in-memory copy.
+func roundTrip(t *testing.T, sn *Snapshot) *Snapshot {
+	t.Helper()
+	blob, err := sn.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	dec, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// The codec must be canonical: re-encoding the decoded snapshot yields
+	// the identical bytes.
+	blob2, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("codec is not canonical: decode→encode changed the bytes")
+	}
+	return dec
+}
+
+// TestSnapshotResumeEquivalence is the tentpole invariant: for a fixed
+// seed, interrupting a session at ANY tick, marshaling the snapshot,
+// decoding it, and restoring — onto an independently compiled Problem
+// (the cold-cache situation a server restart creates) and onto a device
+// with a different worker count — must produce the byte-identical solution
+// stream (order, witnesses, projected signatures, hit tallies) and
+// identical stats that the uninterrupted run produces. Continuous and
+// round mode, 1 and 7 workers, unprojected and projected, with and
+// without momentum.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	type variant struct {
+		name    string
+		formula string
+		cfg     Config
+		ticks   int
+	}
+	variants := []variant{
+		{"continuous-seq", paperExample, Config{BatchSize: 128, Seed: 11, MaxAge: 4}, 24},
+		{"continuous-7w", paperExample, Config{BatchSize: 192, Seed: 5, MaxAge: 4, Device: tensor.ParallelN(7)}, 24},
+		{"continuous-momentum", paperExample, Config{BatchSize: 128, Seed: 3, Momentum: 0.5}, 20},
+		{"continuous-projected", projFormula, Config{BatchSize: 128, Seed: 9}, 20},
+		{"round-seq", paperExample, Config{BatchSize: 128, Seed: 7, RoundMode: true}, 6},
+		{"round-7w", paperExample, Config{BatchSize: 128, Seed: 7, RoundMode: true, Device: tensor.ParallelN(7)}, 6},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			f := mustFormula(t, v.formula)
+			tick := func(s *Sampler) {
+				if v.cfg.RoundMode {
+					s.Round()
+				} else {
+					s.ContinuousStep(0)
+				}
+			}
+
+			base := newSampler(t, f, v.cfg)
+			for i := 0; i < v.ticks; i++ {
+				tick(base)
+			}
+			want := streamSig(base)
+			if len(want) == 0 {
+				t.Fatal("baseline run found no solutions; variant exercises nothing")
+			}
+
+			// Interrupt at every tick boundary, including 0 (before any work)
+			// and v.ticks (after all of it).
+			for cut := 0; cut <= v.ticks; cut++ {
+				s := newSampler(t, f, v.cfg)
+				for i := 0; i < cut; i++ {
+					tick(s)
+				}
+				sn := roundTrip(t, s.Snapshot())
+				// Restore onto a freshly compiled Problem (same content hash)
+				// on the opposite parallelism: solution streams are
+				// deterministic across worker counts, so resume must be too.
+				prob, err := CompileCNF(mustFormula(t, v.formula))
+				if err != nil {
+					t.Fatal(err)
+				}
+				dev := tensor.ParallelN(3)
+				if v.cfg.Device.Workers() > 1 {
+					dev = tensor.Sequential()
+				}
+				r, err := RestoreSamplerOn(prob, sn, dev)
+				if err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				for i := cut; i < v.ticks; i++ {
+					tick(r)
+				}
+				got := streamSig(r)
+				if len(got) != len(want) {
+					t.Fatalf("cut %d: resumed stream has %d solutions, uninterrupted %d", cut, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("cut %d: stream diverges at solution %d:\n  resumed       %s\n  uninterrupted %s", cut, i, got[i], want[i])
+					}
+				}
+				if !statsEqual(r.Stats(), base.Stats()) {
+					t.Fatalf("cut %d: stats diverged:\n  resumed       %+v\n  uninterrupted %+v", cut, r.Stats(), base.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotExhaustedSurvivesResume: the saturation guard's verdict is
+// session state — restoring a snapshot of an exhausted session must not
+// resurrect it into re-exploring a space the original declared done.
+func TestSnapshotExhaustedSurvivesResume(t *testing.T) {
+	// x3 = x1 OR x2 = 1: exactly 3 solutions, so an unreachable target
+	// trips the guard quickly.
+	f := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	s := newSampler(t, f, Config{BatchSize: 32, Seed: 4})
+	s.SampleUntil(10, 0)
+	if !s.Exhausted() {
+		t.Fatal("session did not saturate")
+	}
+	sn := roundTrip(t, s.Snapshot())
+	prob, err := CompileCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSampler(prob, sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exhausted() {
+		t.Fatal("restored session lost the saturation verdict")
+	}
+	if got := r.UniqueCount(); got != 3 {
+		t.Fatalf("restored pool holds %d solutions, want 3", got)
+	}
+	st := r.SampleUntil(10, 0)
+	if st.Unique != 3 {
+		t.Fatalf("restored exhausted session changed its pool: %d unique", st.Unique)
+	}
+}
+
+// TestSnapshotRejectsWrongProblem: a snapshot restores only onto the
+// identical compiled artifact — a different formula (different content
+// hash) must be refused with ErrBadSnapshot.
+func TestSnapshotRejectsWrongProblem(t *testing.T) {
+	f := mustFormula(t, paperExample)
+	g := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	s := newSampler(t, f, Config{BatchSize: 64, Seed: 1})
+	s.ContinuousStep(0)
+	sn := roundTrip(t, s.Snapshot())
+	pg, err := CompileCNF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RestoreSampler(pg, sn)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("restore onto a different problem: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestDecodeSnapshotRejectsCorruption: every single-byte corruption and
+// every truncation of a valid snapshot must fail cleanly (the CRC or a
+// structural check), never panic, and never decode successfully — a
+// resumed session built from damaged state would silently violate the
+// zero-loss contract.
+func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
+	f := mustFormula(t, projFormula)
+	s := newSampler(t, f, Config{BatchSize: 64, Seed: 2, Momentum: 0.3})
+	for i := 0; i < 8; i++ {
+		s.ContinuousStep(0)
+	}
+	blob, err := s.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(blob); off++ {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x40
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d decoded successfully", off, len(blob))
+		}
+	}
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := DecodeSnapshot(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", cut, len(blob))
+		}
+	}
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Fatal("nil input decoded successfully")
+	}
+}
+
+// FuzzDecodeSnapshot: arbitrary input must either decode into a snapshot
+// that re-encodes canonically or fail with an error wrapping ErrBadSnapshot
+// — and must never panic. Seeded with real snapshots (plain, momentum,
+// projected, round-mode) plus structured mutations of them.
+func FuzzDecodeSnapshot(f *testing.F) {
+	seedFrom := func(formula string, cfg Config, ticks int) {
+		cf, err := cnf.ParseDIMACSString(formula)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s, err := NewFromCNF(cf, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < ticks; i++ {
+			if cfg.RoundMode {
+				s.Round()
+			} else {
+				s.ContinuousStep(0)
+			}
+		}
+		blob, err := s.Snapshot().MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// Truncations and a version bump as structured seeds.
+		f.Add(blob[:len(blob)/2])
+		bumped := append([]byte(nil), blob...)
+		bumped[4] ^= 0xFF
+		f.Add(bumped)
+	}
+	seedFrom(paperExample, Config{BatchSize: 64, Seed: 1}, 6)
+	seedFrom(paperExample, Config{BatchSize: 64, Seed: 2, Momentum: 0.4}, 4)
+	seedFrom(projFormula, Config{BatchSize: 64, Seed: 3}, 6)
+	seedFrom(paperExample, Config{BatchSize: 64, Seed: 4, RoundMode: true}, 2)
+	f.Add([]byte{})
+	f.Add([]byte("GDSS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := DecodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("decode error does not wrap ErrBadSnapshot: %v", err)
+			}
+			return
+		}
+		blob, err := sn.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+		sn2, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		blob2, err := sn2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatal("codec is not canonical under fuzzed input")
+		}
+	})
+}
+
+// BenchmarkSnapshot measures one full checkpoint+restore cycle — Snapshot,
+// MarshalBinary, DecodeSnapshot, RestoreSampler — for a session over an
+// s15850a-scale instance mid-sampling toward a server-sized target. The
+// acceptance bar is < 10ms per cycle: a checkpoint must be cheap enough to
+// take on every drain.
+func BenchmarkSnapshot(b *testing.B) {
+	inst := benchgen.Iscas("s15850a_mini", 600, 10300, 3, 15832)
+	prob, err := CompileCNF(inst.Formula)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := prob.NewSampler(Config{BatchSize: 1024, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Mid-flight serving session: target-steered (like every satserved
+	// request) and interrupted partway to its goal.
+	for i := 0; i < 10 && s.UniqueCount() < 1500; i++ {
+		s.ContinuousStep(1500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := s.Snapshot()
+		blob, err := sn.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := DecodeSnapshot(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RestoreSampler(prob, dec); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(blob)))
+	}
+}

@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Plan
+	}{
+		{"", Plan{}},
+		{" ; ; ", Plan{}},
+		{"seed=7;kill@tick=120;cancel@sol=40;corrupt;slow=2ms",
+			Plan{Seed: 7, KillAtTick: 120, CancelAtSol: 40, Corrupt: true, Slow: 2 * time.Millisecond}},
+		{"kill@tick=1", Plan{KillAtTick: 1}},
+		{"corrupt", Plan{Seed: 1, Corrupt: true}}, // corruption defaults its seed
+		{"slow=1s;seed=-3", Plan{Seed: -3, Slow: time.Second}},
+	}
+	for _, c := range cases {
+		got, err := ParsePlan(c.in)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParsePlan(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		back, err := ParsePlan(got.String())
+		if err != nil || back != got {
+			t.Fatalf("round trip of %q via %q: %+v, %v", c.in, got.String(), back, err)
+		}
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"kill@tick", "kill@tick=0", "kill@tick=-5", "kill@tick=x",
+		"cancel@sol=", "seed=1.5", "slow=fast", "slow=-1s",
+		"corrupt=yes", "explode@tick=3", "seed",
+	} {
+		if _, err := ParsePlan(in); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted garbage", in)
+		}
+	}
+}
+
+func TestInjectorFiresExactlyOnce(t *testing.T) {
+	plan, err := ParsePlan("kill@tick=3;cancel@sol=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var kills, cancels int
+	for i := 0; i < 10; i++ {
+		if in.Advance(PointTick) {
+			kills++
+			if in.Ticks() != 3 {
+				t.Fatalf("kill fired at tick %d, want 3", in.Ticks())
+			}
+		}
+		if in.Advance(PointSol) {
+			cancels++
+			if in.Solutions() != 2 {
+				t.Fatalf("cancel fired at solution %d, want 2", in.Solutions())
+			}
+		}
+	}
+	if kills != 1 || cancels != 1 {
+		t.Fatalf("fired kill %d times, cancel %d times; want exactly once each", kills, cancels)
+	}
+	if in.Ticks() != 10 || in.Solutions() != 10 {
+		t.Fatalf("counters = %d/%d, want 10/10", in.Ticks(), in.Solutions())
+	}
+}
+
+func TestInjectorConcurrentAdvance(t *testing.T) {
+	in := New(Plan{KillAtTick: 50})
+	var fired sync.Map
+	var wg sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if in.Advance(PointTick) {
+					mu.Lock()
+					count++
+					mu.Unlock()
+					fired.Store("fired", true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Fatalf("kill fired %d times under contention, want 1", count)
+	}
+	if in.Ticks() != 200 {
+		t.Fatalf("ticks = %d, want 200", in.Ticks())
+	}
+}
+
+func TestCorruptDeterministicAndDamaging(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAA}, 64)
+	a := Corrupt(7, data)
+	b := Corrupt(7, data)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different damage")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("corruption changed nothing")
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("input was mutated")
+	}
+	if bytes.Equal(Corrupt(8, data), a) {
+		t.Fatal("different seeds produced identical damage")
+	}
+	// Unarmed injector passes data through untouched (same backing).
+	in := New(Plan{})
+	if got := in.Corrupt(data); &got[0] != &data[0] {
+		t.Fatal("unarmed Corrupt copied its input")
+	}
+	armed := New(Plan{Corrupt: true, Seed: 3})
+	if got := armed.Corrupt(data); bytes.Equal(got, data) {
+		t.Fatal("armed Corrupt changed nothing")
+	}
+}
+
+func TestInjectorSlowSink(t *testing.T) {
+	in := New(Plan{Slow: 5 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		in.Advance(PointSol)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("3 slow deliveries took %v, want >= 15ms", elapsed)
+	}
+}

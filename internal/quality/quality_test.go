@@ -23,11 +23,11 @@ func TestExactCountFull(t *testing.T) {
 		in   string
 		want float64
 	}{
-		{"p cnf 2 1\n1 2 0\n", 3},                                    // x1 ∨ x2
-		{"p cnf 2 2\n1 0\n-2 0\n", 1},                                // x1 ∧ ¬x2
-		{"p cnf 3 1\n1 2 0\n", 6},                                    // free x3 doubles
+		{"p cnf 2 1\n1 2 0\n", 3},                                     // x1 ∨ x2
+		{"p cnf 2 2\n1 0\n-2 0\n", 1},                                 // x1 ∧ ¬x2
+		{"p cnf 3 1\n1 2 0\n", 6},                                     // free x3 doubles
 		{"p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", 2401}, // 7^4
-		{"p cnf 1 2\n1 0\n-1 0\n", 0},                                // unsat
+		{"p cnf 1 2\n1 0\n-1 0\n", 0},                                 // unsat
 	}
 	for _, tc := range cases {
 		got, err := quality.ExactCount(mustParse(t, tc.in), nil, quality.CountLimits{})

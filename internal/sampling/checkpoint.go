@@ -1,0 +1,263 @@
+package sampling
+
+// Session checkpoints: the service-layer envelope over core snapshots.
+//
+// A core.Snapshot captures the sampler's exact GD/scheduler/pool state but
+// restores only onto an already-compiled Problem. A service that restarts
+// loses its compile cache, so the session checkpoint additionally embeds
+// the DIMACS text of the formula itself: a checkpoint is self-contained —
+// decode, recompile (through the Compiler's cache when warm, from the
+// embedded text when cold), restore, and the stream continues at exactly
+// the next undelivered solution.
+//
+// Envelope ("GDSC", version 1, little-endian, length-prefixed):
+//
+//	magic "GDSC" | u16 version | str name | u64 delivered | u32 stale
+//	| str formula (DIMACS) | bytes core snapshot | sha256 digest
+//
+// where str/bytes are u32 length + payload. The trailing SHA-256 covers
+// every preceding byte, so any truncation or flip — including inside the
+// embedded core blob, which carries its own CRC — is rejected before any
+// field is interpreted. Decoding never panics; every failure wraps
+// ErrBadCheckpoint. Encoding is canonical: decode→encode is byte-identical.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// CheckpointVersion is the envelope format version this build writes.
+const CheckpointVersion = 1
+
+// ErrBadCheckpoint is wrapped by every checkpoint decode/restore failure:
+// corrupt or truncated envelopes, version or digest mismatches, and
+// restore attempts against the wrong problem.
+var ErrBadCheckpoint = errors.New("sampling: bad checkpoint")
+
+var checkpointMagic = [4]byte{'G', 'D', 'S', 'C'}
+
+// Checkpoint is a decoded session checkpoint: the formula, the core
+// sampler snapshot, and the stream cursor. It is immutable once decoded.
+type Checkpoint struct {
+	name      string
+	delivered int
+	stale     int
+	formula   *cnf.Formula
+	snap      *core.Snapshot
+}
+
+// Name returns the checkpointed session's name.
+func (c *Checkpoint) Name() string { return c.name }
+
+// Key returns the content hash identifying the formula this checkpoint
+// belongs to (equal to HashFormula of the embedded formula).
+func (c *Checkpoint) Key() string { return c.snap.Key() }
+
+// Delivered returns the stream cursor: how many solutions the session had
+// already handed to its sink when the checkpoint was taken.
+func (c *Checkpoint) Delivered() int { return c.delivered }
+
+// Formula returns the embedded CNF. The caller must not mutate it — a
+// restored session's compiled problem may share it.
+func (c *Checkpoint) Formula() *cnf.Formula { return c.formula }
+
+// Snapshot returns the embedded core sampler snapshot.
+func (c *Checkpoint) Snapshot() *core.Snapshot { return c.snap }
+
+// Checkpoint serializes the session's complete resumable state. The
+// session must be quiescent (between Stream calls, or inside a cancelled
+// one) — checkpointing a session whose Stream is running on another
+// goroutine races with the scheduler. The returned bytes alias nothing:
+// they stay valid however the session is used afterwards, and the
+// session itself is untouched and continues exactly as if never
+// checkpointed.
+func (s *Session) Checkpoint() ([]byte, error) {
+	blob, err := s.core.Snapshot().MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	text := s.prob.formula.DIMACSString()
+	n := 4 + 2 + // magic, version
+		4 + len(s.name) +
+		8 + 4 + // delivered, stale
+		4 + len(text) +
+		4 + len(blob) +
+		sha256.Size
+	buf := make([]byte, 0, n)
+	buf = append(buf, checkpointMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, CheckpointVersion)
+	buf = appendBlock(buf, []byte(s.name))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.delivered))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.stale))
+	buf = appendBlock(buf, []byte(text))
+	buf = appendBlock(buf, blob)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+func appendBlock(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// DecodeCheckpoint parses and fully validates a checkpoint envelope: the
+// digest, every field bound, the embedded formula (reparsed from its
+// DIMACS text), the core snapshot, and the cross-checks tying them
+// together (the formula's content hash must equal the snapshot's key; the
+// delivered cursor must not exceed the snapshot's solution count). It
+// never panics on arbitrary input, and it does not retain data — the
+// returned Checkpoint owns all its memory.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	const minLen = 4 + 2 + 4 + 8 + 4 + 4 + 4 + sha256.Size
+	if len(data) < minLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any envelope", ErrBadCheckpoint, len(data))
+	}
+	body, digest := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); [sha256.Size]byte(digest) != sum {
+		return nil, fmt.Errorf("%w: digest mismatch (truncated or corrupted envelope)", ErrBadCheckpoint)
+	}
+	if [4]byte(body[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint16(body[4:6]); v != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrBadCheckpoint, v, CheckpointVersion)
+	}
+	rest := body[6:]
+	name, rest, err := takeBlock(rest, "session name")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("%w: truncated cursor fields", ErrBadCheckpoint)
+	}
+	delivered := binary.LittleEndian.Uint64(rest)
+	stale := binary.LittleEndian.Uint32(rest[8:])
+	rest = rest[12:]
+	text, rest, err := takeBlock(rest, "formula")
+	if err != nil {
+		return nil, err
+	}
+	blob, rest, err := takeBlock(rest, "core snapshot")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(rest))
+	}
+	// Resume tokens arrive over the network, so the embedded formula is
+	// re-parsed under the same service-grade bounds submissions face —
+	// anything the server admitted in the first place fits them.
+	f, err := cnf.ParseDIMACSLimits(bytes.NewReader(text), cnf.DefaultParseLimits())
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded formula: %v", ErrBadCheckpoint, err)
+	}
+	// core.DecodeSnapshot aliases its input's pool section; copy the blob
+	// so the Checkpoint owns all its memory and the caller may reuse or
+	// discard data (the server decodes tokens out of a recycled spool).
+	snap, err := core.DecodeSnapshot(append([]byte(nil), blob...))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if key := HashFormula(f); key != snap.Key() {
+		return nil, fmt.Errorf("%w: embedded formula hashes to %.12s but snapshot is keyed %.12s", ErrBadCheckpoint, key, snap.Key())
+	}
+	if delivered > uint64(snap.UniqueCount()) {
+		return nil, fmt.Errorf("%w: delivered cursor %d exceeds the snapshot's %d solutions", ErrBadCheckpoint, delivered, snap.UniqueCount())
+	}
+	if stale > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible stale counter %d", ErrBadCheckpoint, stale)
+	}
+	return &Checkpoint{
+		name:      string(name),
+		delivered: int(delivered),
+		stale:     int(stale),
+		formula:   f,
+		snap:      snap,
+	}, nil
+}
+
+// takeBlock splits one u32-length-prefixed payload off the front of data.
+func takeBlock(data []byte, what string) (payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated %s length", ErrBadCheckpoint, what)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if uint64(n) > uint64(len(data)-4) {
+		return nil, nil, fmt.Errorf("%w: %s claims %d bytes, %d remain", ErrBadCheckpoint, what, n, len(data)-4)
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}
+
+// RestoreSession rebuilds a session from a checkpoint on this problem,
+// which must be the compiled form of the checkpoint's formula (the warm
+// cache path: the server looked the key up before decoding the formula at
+// all). A zero dev restores on the device implied by the snapshot's
+// worker count; streams are deterministic across devices, so any explicit
+// dev resumes the identical stream.
+func (p *Problem) RestoreSession(ck *Checkpoint, dev tensor.Device) (*Session, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadCheckpoint)
+	}
+	var (
+		s   *core.Sampler
+		err error
+	)
+	if dev.Workers() == 0 {
+		s, err = core.RestoreSampler(p.core, ck.snap)
+	} else {
+		s, err = core.RestoreSamplerOn(p.core, ck.snap, dev)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return &Session{
+		prob:      p,
+		core:      s,
+		name:      ck.name,
+		roundMode: ck.snap.RoundMode(),
+		delivered: ck.delivered,
+		stale:     ck.stale,
+		stats: Stats{
+			Unique:    s.UniqueCount(),
+			Calls:     0, // per-process driver accounting restarts with the process
+			Exhausted: false,
+		},
+	}, nil
+}
+
+// Resume restores a checkpointed session through this compiler: the
+// embedded formula compiles through the content-hash cache (a hit when
+// the artifact is still resident, a fresh compile after a cold restart),
+// then the snapshot restores onto the shared problem. This is the
+// server's re-admission path.
+func (c *Compiler) Resume(ck *Checkpoint, dev tensor.Device) (*Session, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadCheckpoint)
+	}
+	p, err := c.Compile(ck.formula)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recompiling embedded formula: %v", ErrBadCheckpoint, err)
+	}
+	return p.RestoreSession(ck, dev)
+}
+
+// RestoreSession is the cache-free one-shot resume: decode nothing, share
+// nothing, just recompile the embedded formula and restore. CLI tools use
+// it; services should prefer Compiler.Resume.
+func RestoreSession(ck *Checkpoint, dev tensor.Device) (*Session, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadCheckpoint)
+	}
+	p, err := CompileProblem(ck.formula)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recompiling embedded formula: %v", ErrBadCheckpoint, err)
+	}
+	return p.RestoreSession(ck, dev)
+}

@@ -2,9 +2,6 @@ package sampling
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"sync"
 
 	"repro/internal/cnf"
@@ -13,37 +10,12 @@ import (
 )
 
 // HashFormula returns the content hash of a CNF — the cache key under
-// which its compiled Problem is stored. The hash covers the variable count
-// and the exact clause/literal sequence (Algorithm 1 is order-sensitive,
-// so two formulas that differ only in clause order are genuinely different
-// compilation inputs), plus the declared projection: a formula's sampling
-// set is part of its identity (sessions inherit it by default), so two
-// inputs that differ only in their "c ind" lines must not share a cache
-// slot. The projection suffix is only written when non-empty, which keeps
-// every unprojected formula's key unchanged and cannot collide — the
-// clause section's length is fully determined by its leading counts.
+// which its compiled Problem is stored. It is cnf.Formula.ContentHash
+// (variable count + exact clause/literal sequence + declared projection),
+// the same identity core.Problem.Key reports and session snapshots are
+// keyed by, so a checkpoint's key always resolves through this cache.
 func HashFormula(f *cnf.Formula) string {
-	h := sha256.New()
-	var buf [binary.MaxVarintLen64]byte
-	writeInt := func(v int64) {
-		n := binary.PutVarint(buf[:], v)
-		h.Write(buf[:n])
-	}
-	writeInt(int64(f.NumVars))
-	writeInt(int64(len(f.Clauses)))
-	for _, c := range f.Clauses {
-		writeInt(int64(len(c)))
-		for _, l := range c {
-			writeInt(int64(l))
-		}
-	}
-	if len(f.Projection) > 0 {
-		writeInt(int64(len(f.Projection)))
-		for _, v := range f.Projection {
-			writeInt(int64(v))
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return f.ContentHash()
 }
 
 // CompilerStats snapshots the cache counters. The snapshot is taken under

@@ -139,8 +139,14 @@ type Session struct {
 	name      string
 	roundMode bool
 	delivered int // solutions already handed to a sink
+	stale     int // round mode: consecutive zero-gain rounds (saturation guard)
 	stats     Stats
 }
+
+// Delivered returns how many solutions this session has already handed to
+// a sink — the stream cursor a checkpoint captures so a resumed session
+// continues delivery at exactly the next undelivered solution.
+func (s *Session) Delivered() int { return s.delivered }
 
 // Name implements Sampler.
 func (s *Session) Name() string { return s.name }
@@ -188,6 +194,15 @@ func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, 
 		return
 	}
 	for target <= 0 || s.core.UniqueCount() < target {
+		// The scheduler's saturation guard counts retired-row gain (not
+		// rounds): once it trips, further ticks admit no fresh work. Checked
+		// at the loop top — not after the tick — so a session restored from
+		// a checkpoint taken at exhaustion stops immediately instead of
+		// burning one extra no-op tick.
+		if s.core.Exhausted() {
+			s.stats.Exhausted = true
+			break
+		}
 		if ctx.Err() != nil {
 			s.stats.Timeout = true
 			break
@@ -198,40 +213,42 @@ func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, 
 			err = s.sinkErr(ferr)
 			return
 		}
-		// The scheduler's saturation guard counts retired-row gain (not
-		// rounds): once it trips, further ticks admit no fresh work.
-		if s.core.Exhausted() {
-			s.stats.Exhausted = true
-			break
-		}
 	}
 	return
 }
 
 // streamRounds is the round-mode Stream loop (SessionConfig.RoundMode).
+// The zero-gain counter lives on the Session (not this call frame) so an
+// interrupted stream — cancelled and resumed on this session, or restored
+// from a checkpoint — counts saturation exactly as the uninterrupted run
+// would.
 func (s *Session) streamRounds(ctx context.Context, target int, sink Sink) error {
-	stale := 0
 	for target <= 0 || s.core.UniqueCount() < target {
+		// Saturation guard (mirrors core's round mode): rounds are
+		// independent restarts, so a long run of zero-gain rounds means
+		// the reachable solution set is exhausted. Checked at the loop top
+		// so a checkpoint taken at exhaustion resumes straight to done.
+		if s.stale >= 64 && s.core.UniqueCount() > 0 {
+			s.stats.Exhausted = true
+			break
+		}
 		if ctx.Err() != nil {
 			s.stats.Timeout = true
 			break
 		}
 		gained := s.core.Round()
 		s.stats.Calls++
+		// Update the guard before flushing: a sink that stops the stream
+		// mid-delivery must not lose this round's bookkeeping, or a resumed
+		// checkpoint would count saturation differently than the
+		// uninterrupted run.
+		if gained == 0 {
+			s.stale++
+		} else {
+			s.stale = 0
+		}
 		if ferr := s.flush(sink); ferr != nil {
 			return s.sinkErr(ferr)
-		}
-		// Saturation guard (mirrors core's round mode): rounds are
-		// independent restarts, so a long run of zero-gain rounds means
-		// the reachable solution set is exhausted.
-		if gained == 0 {
-			stale++
-			if stale >= 64 && s.core.UniqueCount() > 0 {
-				s.stats.Exhausted = true
-				break
-			}
-		} else {
-			stale = 0
 		}
 	}
 	return nil

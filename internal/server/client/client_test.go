@@ -1,0 +1,264 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastSleep records requested waits without actually sleeping.
+func fastSleep(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return ctx.Err()
+	}
+}
+
+func writeStream(w http.ResponseWriter, lines ...string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, ln := range lines {
+		fmt.Fprintln(w, ln)
+	}
+}
+
+// TestSampleRetriesShedWithRetryAfter: 429s with Retry-After are retried
+// after at least the advertised floor, and the stream then completes.
+func TestSampleRetriesShedWithRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":2}`,
+			`{"type":"solution","assignment":"01"}`,
+			`{"type":"solution","assignment":"10"}`,
+			`{"type":"done","unique":2,"delivered":2}`)
+	}))
+	defer ts.Close()
+	var waits []time.Duration
+	c := New(ts.URL, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 || res.Retries != 2 {
+		t.Fatalf("solutions=%d retries=%d, want 2/2", len(res.Solutions), res.Retries)
+	}
+	if len(waits) != 2 || waits[0] < 7*time.Second || waits[1] < 7*time.Second {
+		t.Fatalf("backoffs %v ignore the Retry-After floor of 7s", waits)
+	}
+}
+
+// TestSampleFollowsResumeToken: a drained stream is transparently
+// re-attached via its token and the solutions accumulate exactly once.
+func TestSampleFollowsResumeToken(t *testing.T) {
+	token := strings.Repeat("ab", 32)
+	var resumed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") == token {
+			resumed.Store(true)
+			writeStream(w,
+				`{"type":"meta","key":"k","batch":64,"target":3,"resumed":true,"delivered":2}`,
+				`{"type":"solution","assignment":"11"}`,
+				`{"type":"done","unique":3,"delivered":3}`)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":3}`,
+			`{"type":"solution","assignment":"01"}`,
+			`{"type":"solution","assignment":"10"}`,
+			fmt.Sprintf(`{"type":"done","unique":2,"delivered":2,"drained":true,"timeout":true,"resume":%q}`, token))
+	}))
+	defer ts.Close()
+	var waits []time.Duration
+	c := New(ts.URL, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Load() {
+		t.Fatal("client never issued the resume leg")
+	}
+	if got := strings.Join(res.Solutions, ","); got != "01,10,11" {
+		t.Fatalf("accumulated stream %q, want 01,10,11", got)
+	}
+	if res.Resumes != 1 || res.Done.Drained {
+		t.Fatalf("resumes=%d done=%+v", res.Resumes, res.Done)
+	}
+	if !res.Meta.Resumed == false {
+		t.Fatalf("meta should be the first leg's: %+v", res.Meta)
+	}
+}
+
+// TestSampleRestartsBrokenFreshStream: a transport failure mid-stream on a
+// fresh request discards the partial leg and retries from scratch —
+// nothing is double-counted.
+func TestSampleRestartsBrokenFreshStream(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// One good line, then a dead connection (no done).
+			writeStream(w,
+				`{"type":"meta","key":"k","batch":64,"target":2}`,
+				`{"type":"solution","assignment":"01"}`)
+			if hj, ok := w.(http.Hijacker); ok {
+				conn, _, _ := hj.Hijack()
+				conn.Close()
+			}
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":2}`,
+			`{"type":"solution","assignment":"01"}`,
+			`{"type":"solution","assignment":"10"}`,
+			`{"type":"done","unique":2,"delivered":2}`)
+	}))
+	defer ts.Close()
+	var waits []time.Duration
+	c := New(ts.URL, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Solutions, ","); got != "01,10" {
+		t.Fatalf("accumulated stream %q, want 01,10 (broken leg discarded)", got)
+	}
+	if res.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", res.Retries)
+	}
+}
+
+// refusingTransport fails the first n resume-leg dials with a raw
+// transport error — the shape of a drained server mid-restart.
+type refusingTransport struct {
+	fails atomic.Int32
+	rt    http.RoundTripper
+}
+
+func (f *refusingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.URL.Query().Get("resume") != "" && f.fails.Add(-1) >= 0 {
+		return nil, errors.New("dial tcp: connection refused")
+	}
+	return f.rt.RoundTrip(r)
+}
+
+// TestSampleRetriesResumeAcrossOutage: a connection-level failure on a
+// resume leg keeps the token and retries — the drained server's restart
+// window must not strand the stream.
+func TestSampleRetriesResumeAcrossOutage(t *testing.T) {
+	token := strings.Repeat("ef", 32)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") == token {
+			writeStream(w,
+				`{"type":"meta","key":"k","batch":64,"target":2,"resumed":true,"delivered":1}`,
+				`{"type":"solution","assignment":"10"}`,
+				`{"type":"done","unique":2,"delivered":2}`)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":2}`,
+			`{"type":"solution","assignment":"01"}`,
+			fmt.Sprintf(`{"type":"done","unique":1,"delivered":1,"drained":true,"timeout":true,"resume":%q}`, token))
+	}))
+	defer ts.Close()
+	tr := &refusingTransport{rt: http.DefaultTransport}
+	tr.fails.Store(2)
+	var waits []time.Duration
+	c := New(ts.URL, Config{HTTP: &http.Client{Transport: tr}, Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Solutions, ","); got != "01,10" {
+		t.Fatalf("accumulated stream %q, want 01,10", got)
+	}
+	if res.Retries != 3 || res.Resumes != 1 {
+		t.Fatalf("retries=%d resumes=%d, want 3/1 (drain + two refused dials)", res.Retries, res.Resumes)
+	}
+}
+
+// TestSampleTerminalStatus: a 400 is not retried.
+func TestSampleTerminalStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad formula", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{Sleep: func(context.Context, time.Duration) error { return nil }})
+	_, err := c.Sample(context.Background(), Request{DIMACS: "garbage", Target: 2})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("terminal status was retried: %d calls", calls.Load())
+	}
+}
+
+// TestSampleAttemptBudget: endless sheds exhaust MaxAttempts with the
+// capped exponential schedule.
+func TestSampleAttemptBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	var waits []time.Duration
+	c := New(ts.URL, Config{
+		MaxAttempts: 4,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Sleep:       fastSleep(&waits),
+	})
+	_, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 1 1\n1 0\n", Target: 1})
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted", err)
+	}
+	if len(waits) != 4 {
+		t.Fatalf("%d backoffs for 4 attempts", len(waits))
+	}
+	for _, d := range waits {
+		// cap 20ms plus 25% jitter headroom
+		if d > 25*time.Millisecond {
+			t.Fatalf("backoff %v exceeds the cap", d)
+		}
+	}
+}
+
+// TestSampleResumeFromTokenParam: Request.Resume starts directly at the
+// resume leg without posting a formula.
+func TestSampleResumeFromTokenParam(t *testing.T) {
+	token := strings.Repeat("cd", 32)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") != token {
+			http.Error(w, "expected a resume leg", http.StatusBadRequest)
+			return
+		}
+		if r.ContentLength > 0 {
+			http.Error(w, "resume leg re-sent a body", http.StatusBadRequest)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":1,"resumed":true,"delivered":5}`,
+			`{"type":"solution","assignment":"1"}`,
+			`{"type":"done","unique":6,"delivered":6}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{})
+	res, err := c.Sample(context.Background(), Request{Resume: token, Target: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || !res.Meta.Resumed || res.Meta.Delivered != 5 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}

@@ -24,6 +24,8 @@ type metrics struct {
 	solutions     int64            // solutions streamed to clients, total
 	projRequests  int64            // completed requests that sampled a projection
 	projSolutions int64            // projected-distinct solutions streamed, total
+	checkpoints   int64            // drained streams parked in the spool
+	resumes       int64            // streams re-attached from a resume token
 	bucket        [rateWindow]int64
 	stamp         [rateWindow]int64 // unix second each bucket last belonged to
 }
@@ -77,6 +79,20 @@ func (m *metrics) projectedRequest() {
 	m.mu.Unlock()
 }
 
+// checkpointed counts one drained stream whose checkpoint was spooled.
+func (m *metrics) checkpointed() {
+	m.mu.Lock()
+	m.checkpoints++
+	m.mu.Unlock()
+}
+
+// resumed counts one stream re-attached from a resume token.
+func (m *metrics) resumed() {
+	m.mu.Lock()
+	m.resumes++
+	m.mu.Unlock()
+}
+
 // solRate returns the aggregate solutions/s over the trailing window.
 func (m *metrics) solRate(now time.Time) float64 {
 	sec := now.Unix()
@@ -101,7 +117,8 @@ func (m *metrics) shedTotalLocked() int64 {
 // other components (queue, compiler, memory ledger) are passed in so one
 // call renders a single consistent page.
 func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget int64,
-	cs sampling.CompilerStats, draining bool) {
+	cs sampling.CompilerStats, draining bool,
+	spoolEntries int, spoolBytes, spoolEvictions int64) {
 	now := time.Now()
 	fmt.Fprintf(w, "# TYPE satserved_uptime_seconds counter\n")
 	fmt.Fprintf(w, "satserved_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
@@ -123,6 +140,7 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	m.mu.Lock()
 	solutions := m.solutions
 	projRequests, projSolutions := m.projRequests, m.projSolutions
+	checkpoints, resumes := m.checkpoints, m.resumes
 	shed := m.shedTotalLocked()
 	outcomes := make([]string, 0, len(m.requests))
 	for k := range m.requests {
@@ -149,6 +167,16 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	fmt.Fprintf(w, "satserved_projected_solutions_total %d\n", projSolutions)
 	fmt.Fprintf(w, "# TYPE satserved_sol_per_sec gauge\n")
 	fmt.Fprintf(w, "satserved_sol_per_sec %.3f\n", m.solRate(now))
+	fmt.Fprintf(w, "# TYPE satserved_checkpoints_total counter\n")
+	fmt.Fprintf(w, "satserved_checkpoints_total %d\n", checkpoints)
+	fmt.Fprintf(w, "# TYPE satserved_resumes_total counter\n")
+	fmt.Fprintf(w, "satserved_resumes_total %d\n", resumes)
+	fmt.Fprintf(w, "# TYPE satserved_spool_entries gauge\n")
+	fmt.Fprintf(w, "satserved_spool_entries %d\n", spoolEntries)
+	fmt.Fprintf(w, "# TYPE satserved_spool_bytes gauge\n")
+	fmt.Fprintf(w, "satserved_spool_bytes %d\n", spoolBytes)
+	fmt.Fprintf(w, "# TYPE satserved_spool_evictions_total counter\n")
+	fmt.Fprintf(w, "satserved_spool_evictions_total %d\n", spoolEvictions)
 
 	fmt.Fprintf(w, "# TYPE satserved_compiler_hits_total counter\n")
 	fmt.Fprintf(w, "satserved_compiler_hits_total %d\n", cs.Hits)

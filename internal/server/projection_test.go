@@ -126,10 +126,10 @@ func TestProjectionValidationErrors(t *testing.T) {
 	cases := []string{
 		"/v1/sample?project=abc",
 		"/v1/sample?project=[1,2",
-		"/v1/sample?project=1,99",  // out of range
-		"/v1/sample?project=2,2",   // duplicate
-		"/v1/sample?project=0,1",   // zero is not a variable
-		"/v1/sample?project=-1",    // negative
+		"/v1/sample?project=1,99", // out of range
+		"/v1/sample?project=2,2",  // duplicate
+		"/v1/sample?project=0,1",  // zero is not a variable
+		"/v1/sample?project=-1",   // negative
 		"/v1/sample?project=1,99&key=" + key,
 	}
 	for _, path := range cases {

@@ -11,6 +11,14 @@ import (
 // capacity — the load-shedding signal the HTTP layer maps to 429.
 var ErrQueueFull = errors.New("server: queue full")
 
+// ErrDraining is returned by Acquire once StartDrain has run: both to new
+// arrivals and to jobs that were already parked in the wait queue when the
+// drain began. Before this fail-fast existed, queued requests rode out the
+// whole drain grace blocked on a slot grant — holding their memory
+// reservations, delaying shutdown, and then streaming into a server about
+// to cancel them — instead of getting the clean 503 new arrivals got.
+var ErrDraining = errors.New("server: draining")
+
 // queue is the bounded weighted-fair admission scheduler: up to slots jobs
 // hold a grant (the worker pool) and at most depth more wait. Waiting jobs
 // are granted in start-time-fair-queueing order — each tenant carries a
@@ -19,14 +27,15 @@ var ErrQueueFull = errors.New("server: queue full")
 // fast as a weight-1 tenant under contention, and a flood from one tenant
 // cannot starve the rest. Within a tenant, jobs stay FIFO.
 type queue struct {
-	mu      sync.Mutex
-	slots   int
-	depth   int
-	active  int
-	vt      float64 // global virtual clock: start tag of the job last admitted
-	seq     uint64  // FIFO tiebreak source
-	waiting waitHeap
-	tenants map[string]*tenantState
+	mu       sync.Mutex
+	slots    int
+	depth    int
+	active   int
+	draining bool
+	vt       float64 // global virtual clock: start tag of the job last admitted
+	seq      uint64  // FIFO tiebreak source
+	waiting  waitHeap
+	tenants  map[string]*tenantState
 }
 
 // tenantState tracks one tenant's fair-queueing tag. It exists only while
@@ -44,9 +53,16 @@ type waiter struct {
 	start  float64
 	finish float64
 	seq    uint64        // FIFO tiebreak on equal finish tags
-	grant  chan struct{} // closed when the slot is granted
-	index  int           // heap index; -1 removed, -2 granted
+	grant  chan struct{} // closed when the slot is granted (or the drain flushes the waiter)
+	index  int           // heap index; -1 removed, -2 granted, -3 flushed by drain
 }
+
+// waiter index sentinels (see waiter.index).
+const (
+	waiterRemoved = -1
+	waiterGranted = -2
+	waiterDrained = -3
+)
 
 type waitHeap []*waiter
 
@@ -70,7 +86,7 @@ func (h *waitHeap) Pop() any {
 	old := *h
 	w := old[len(old)-1]
 	old[len(old)-1] = nil
-	w.index = -1
+	w.index = waiterRemoved
 	*h = old[:len(old)-1]
 	return w
 }
@@ -120,9 +136,28 @@ func (q *queue) unref(tenant string) {
 func (q *queue) grantLocked() {
 	for q.active < q.slots && q.waiting.Len() > 0 {
 		w := heap.Pop(&q.waiting).(*waiter)
-		w.index = -2
+		w.index = waiterGranted
 		q.vt = w.start
 		q.active++
+		close(w.grant)
+	}
+}
+
+// StartDrain rejects all future Acquire calls with ErrDraining and flushes
+// every waiter already parked in the queue: each wakes immediately with
+// ErrDraining instead of blocking until a slot frees or its context dies.
+// Jobs already holding a slot are untouched. Idempotent.
+func (q *queue) StartDrain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return
+	}
+	q.draining = true
+	for q.waiting.Len() > 0 {
+		w := heap.Pop(&q.waiting).(*waiter)
+		w.index = waiterDrained
+		q.unref(w.tenant)
 		close(w.grant)
 	}
 }
@@ -135,6 +170,10 @@ func (q *queue) grantLocked() {
 // context error with the waiter unlinked.
 func (q *queue) Acquire(ctx context.Context, tenant string, weight int) (release func(), err error) {
 	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return nil, ErrDraining
+	}
 	if q.active < q.slots && q.waiting.Len() == 0 {
 		start, _ := q.tag(tenant, weight)
 		q.vt = start
@@ -154,14 +193,24 @@ func (q *queue) Acquire(ctx context.Context, tenant string, weight int) (release
 
 	select {
 	case <-w.grant:
+		// The channel closes on a grant or on a drain flush; the index
+		// (written before the close) says which happened.
+		if w.index == waiterDrained {
+			return nil, ErrDraining
+		}
 		return q.releaseFunc(tenant), nil
 	case <-ctx.Done():
 		q.mu.Lock()
-		if w.index == -2 {
+		switch w.index {
+		case waiterGranted:
 			// Raced with a grant: the slot is ours, give it back.
 			q.mu.Unlock()
 			q.releaseFunc(tenant)()
 			return nil, ctx.Err()
+		case waiterDrained:
+			// Raced with a drain flush: already unlinked, no slot held.
+			q.mu.Unlock()
+			return nil, ErrDraining
 		}
 		heap.Remove(&q.waiting, w.index)
 		q.unref(tenant)

@@ -98,6 +98,14 @@ type Config struct {
 	// DrainGrace is how long in-flight streams may keep running after
 	// drain starts before their contexts are cancelled (default 5s).
 	DrainGrace time.Duration
+	// SpoolBudget bounds the resume-token spool: the aggregate bytes of
+	// session checkpoints parked by drains, LRU-evicted beyond it (default
+	// 32 MiB; < 0 disables spooling and drains cancel without tokens).
+	SpoolBudget int64
+	// SpoolDir, when set, persists spooled checkpoints to disk so resume
+	// tokens survive a process restart — the chaos tier's kill/restart
+	// path. Empty keeps the spool in memory only.
+	SpoolDir string
 	// Seed bases the per-request session seeds (default 1).
 	Seed int64
 	// Log receives structured request logs (default slog.Default()).
@@ -144,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 5 * time.Second
 	}
+	if c.SpoolBudget == 0 {
+		c.SpoolBudget = 32 << 20
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -160,6 +171,7 @@ type Server struct {
 	compiler *sampling.Compiler
 	queue    *queue
 	met      *metrics
+	spool    *spool
 	log      *slog.Logger
 	// parseGate bounds concurrent DIMACS body parses and compileGate
 	// bounds concurrent formula compilations: the two pre-admission
@@ -184,11 +196,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	sp, err := newSpool(cfg.SpoolBudget, cfg.SpoolDir, cfg.Log)
+	if err != nil {
+		// An unusable spool directory degrades to a memory-only spool:
+		// resume tokens still work within this process's lifetime, they
+		// just don't survive a restart.
+		cfg.Log.Warn("spool directory unusable; falling back to memory-only spool", "err", err)
+		sp, _ = newSpool(cfg.SpoolBudget, "", cfg.Log)
+	}
 	return &Server{
 		cfg:         cfg,
 		compiler:    cfg.Compiler,
 		queue:       newQueue(cfg.Workers, cfg.QueueDepth),
 		met:         newMetrics(),
+		spool:       sp,
 		log:         cfg.Log,
 		parseGate:   make(chan struct{}, max(2*cfg.Workers, 4)),
 		compileGate: make(chan struct{}, cfg.Workers),
@@ -211,15 +232,20 @@ func (s *Server) Handler() http.Handler {
 }
 
 // StartDrain begins a graceful drain: new submissions are rejected with
-// 503 immediately, in-flight streams keep running for DrainGrace and are
-// then cancelled (each still terminates with a summary line carrying its
-// partial results). Idempotent. Callers typically follow with
+// 503 immediately, requests already parked in the admission queue wake
+// with the same clean 503 (instead of blocking out the grace period), and
+// in-flight streams keep running for DrainGrace before their contexts are
+// cancelled. A stream the grace cuts off is checkpointed into the spool
+// and its summary line carries a resume token, so the client loses
+// nothing — it re-attaches to the stream on the next process with
+// ?resume=<token>. Idempotent. Callers typically follow with
 // http.Server.Shutdown, which returns once the last stream finishes.
 func (s *Server) StartDrain() {
 	if !s.draining.CompareAndSwap(false, true) {
 		return
 	}
 	s.log.Info("drain started", "grace", s.cfg.DrainGrace)
+	s.queue.StartDrain()
 	time.AfterFunc(s.cfg.DrainGrace, s.sessCancel)
 }
 
@@ -265,13 +291,26 @@ func (s *Server) sessionShape(prob *sampling.Problem, target, projVars int) (bat
 	if batch > 8192 {
 		batch = 8192
 	}
-	est = prob.Core().MemoryEstimate(workers, batch, false)
+	return batch, s.estimateSession(prob, batch, target, projVars, false)
+}
+
+// estimateSession prices one session at an explicit batch — the shared
+// tail of sessionShape, called directly by the resume path, where the
+// batch is not derived from this server's budget but fixed by the
+// checkpoint (a resumed session runs at the batch it was snapshotted
+// with, so it must be re-priced at that batch against THIS ledger).
+func (s *Server) estimateSession(prob *sampling.Problem, batch, target, projVars int, momentum bool) int64 {
+	workers := s.cfg.Device.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	est := prob.Core().MemoryEstimate(workers, batch, momentum)
 	est += int64(target) * int64(prob.NumInputs()/8+24)
 	if projVars > 0 {
-		est += int64(projVars) * int64(batch) / 8         // packed projection columns
+		est += int64(projVars) * int64(batch) / 8           // packed projection columns
 		est += int64(target) * int64((projVars+63)/64*8+24) // per-solution signatures + slice overhead
 	}
-	return batch, est
+	return est
 }
 
 // errorBody writes a single-line JSON error response.
@@ -315,6 +354,8 @@ type metaLine struct {
 	Batch         int     `json:"batch"`
 	Target        int     `json:"target"`
 	ProjectedVars int     `json:"projected_vars,omitempty"`
+	Resumed       bool    `json:"resumed,omitempty"`
+	Delivered     int     `json:"delivered,omitempty"` // solutions already delivered before this request (resume)
 	QueueMS       float64 `json:"queue_ms"`
 }
 
@@ -340,6 +381,10 @@ type doneLine struct {
 	Timeout       bool    `json:"timeout"`
 	Exhausted     bool    `json:"exhausted"`
 	Drained       bool    `json:"drained"`
+	// Resume is the opaque one-shot token a drained stream can be
+	// re-attached with (POST /v1/sample?resume=<token>); empty when the
+	// stream completed or the spool could not hold the checkpoint.
+	Resume string `json:"resume,omitempty"`
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -393,6 +438,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = min(d, s.cfg.MaxTimeout)
 	}
+	// ?seed= pins the session seed (deterministic replays, differential
+	// chaos harnesses); absent, each request gets a distinct seed derived
+	// from the server base seed and the request counter.
+	seed := s.cfg.Seed + id
+	if sv := r.URL.Query().Get("seed"); sv != "" {
+		v, err := strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			s.errorBody(w, http.StatusBadRequest, "bad seed", outcomeBadRequest, "")
+			return
+		}
+		seed = v
+	}
 	// ?project= declares the sampling set for this request (comma list or
 	// JSON array); it overrides any "c ind" lines in a posted body. Range
 	// and duplicate validation follows once the formula is resolved.
@@ -402,13 +459,68 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Resolve the problem: by cache key (no body) or by compiling the
-	// posted DIMACS through the shared single-flight cache. New formulas
-	// go through the compile gate so a flood of distinct CNFs runs at
-	// most Workers compilations at once; already-cached formulas (and
-	// waiters on an in-flight compile) bypass it.
+	// ?resume= re-admits a checkpointed session from the spool: the token
+	// is one-shot, its envelope self-contained (formula included), and the
+	// restored session is re-priced and re-queued like any fresh request —
+	// resumption is a scheduling event, not a side door around admission
+	// control.
+	var ck *sampling.Checkpoint
+	var ckData []byte
+	if token := r.URL.Query().Get("resume"); token != "" {
+		data, ok := s.spool.Take(token)
+		if !ok {
+			s.errorBody(w, http.StatusNotFound, "unknown or expired resume token", outcomeNotFound, "")
+			return
+		}
+		c, err := sampling.DecodeCheckpoint(data)
+		if err != nil {
+			s.log.Warn("bad resume token", "id", id, "tenant", tenant, "err", err)
+			s.errorBody(w, http.StatusBadRequest, "bad resume token: "+err.Error(), outcomeBadRequest, "")
+			return
+		}
+		ck, ckData = c, data
+	}
+	// Tokens are one-shot, but a Take followed by a shed must not destroy
+	// the checkpoint: on any transient admission failure the envelope goes
+	// back into the spool under the same token (it IS the content hash),
+	// so the client's retry-after-backoff still resumes.
+	reSpool := func() {
+		if ck != nil {
+			if _, err := s.spool.Put(ckData); err != nil {
+				s.log.Warn("could not re-spool checkpoint after shed", "id", id, "err", err)
+			}
+		}
+	}
+
+	// Resolve the problem: from a resume token's embedded formula, by
+	// cache key (no body), or by compiling the posted DIMACS through the
+	// shared single-flight cache. New formulas go through the compile
+	// gate so a flood of distinct CNFs runs at most Workers compilations
+	// at once; already-cached formulas (and waiters on an in-flight
+	// compile) bypass it.
 	var prob *sampling.Problem
-	if key := r.URL.Query().Get("key"); key != "" {
+	if ck != nil {
+		if p, ok := s.compiler.Lookup(ck.Key()); ok {
+			prob = p
+		} else {
+			// Cold cache (typically: the process restarted between the
+			// checkpoint and the resume) — recompile from the envelope.
+			select {
+			case s.compileGate <- struct{}{}:
+			case <-r.Context().Done():
+				reSpool()
+				s.met.request(outcomeCancelled)
+				return
+			}
+			p, err := s.compiler.Compile(ck.Formula())
+			<-s.compileGate
+			if err != nil {
+				s.errorBody(w, http.StatusBadRequest, "resume compile: "+err.Error(), outcomeBadRequest, "")
+				return
+			}
+			prob = p
+		}
+	} else if key := r.URL.Query().Get("key"); key != "" {
 		p, ok := s.compiler.Lookup(key)
 		if !ok {
 			s.errorBody(w, http.StatusNotFound, "unknown problem key", outcomeNotFound, "")
@@ -481,13 +593,25 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// wait queue free of jobs that could not run anyway, and the ledger
 	// covers queued + active sessions so the budget can never be exceeded.
 	// The effective projection width is known pre-admission: the explicit
-	// spec, or the formula's declared set the session would inherit.
-	effProj := len(projection)
-	if effProj == 0 {
-		effProj = len(prob.Formula().Projection)
+	// spec, or the formula's declared set the session would inherit. A
+	// resumed session's shape is fixed by its checkpoint — the batch it
+	// was snapshotted with is the batch it restores at — so it is priced
+	// at that batch, not at what this server would size a fresh session.
+	var batch int
+	var est int64
+	if ck != nil {
+		sn := ck.Snapshot()
+		batch = sn.Batch()
+		est = s.estimateSession(prob, batch, max(target, sn.UniqueCount()), sn.ProjectionWidth(), sn.Momentum())
+	} else {
+		effProj := len(projection)
+		if effProj == 0 {
+			effProj = len(prob.Formula().Projection)
+		}
+		batch, est = s.sessionShape(prob, target, effProj)
 	}
-	batch, est := s.sessionShape(prob, target, effProj)
 	if !s.reserve(est) {
+		reSpool()
 		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "memory",
 			"estimate", est, "key", short(prob.Key()))
 		s.errorBody(w, http.StatusTooManyRequests, "session memory budget exhausted", outcomeShedMemory, "2")
@@ -498,12 +622,22 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	qt0 := time.Now()
 	release, err := s.queue.Acquire(r.Context(), tenant, weight)
 	if errors.Is(err, ErrQueueFull) {
+		reSpool()
 		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "queue", "key", short(prob.Key()))
 		s.errorBody(w, http.StatusTooManyRequests, "queue full", outcomeShedQueue, "1")
 		return
 	}
+	if errors.Is(err, ErrDraining) {
+		// A drain started while this request waited for a slot: same clean
+		// 503 a fresh arrival gets, instead of riding out the grace period
+		// blocked in the queue.
+		reSpool()
+		s.errorBody(w, http.StatusServiceUnavailable, "server draining", outcomeDraining, "5")
+		return
+	}
 	if err != nil {
 		// Client disconnected while waiting; nothing can be written.
+		reSpool()
 		s.met.request(outcomeCancelled)
 		return
 	}
@@ -512,15 +646,27 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// Workers/QueueDepth see real queueing pressure, not compile cost.
 	queueWait := time.Since(qt0)
 
-	sess, err := prob.NewSession(sampling.SessionConfig{
-		BatchSize:  batch,
-		Seed:       s.cfg.Seed + id,
-		Device:     s.cfg.Device,
-		Projection: projection, // nil inherits the formula's declared set
-	})
+	var sess *sampling.Session
+	if ck != nil {
+		// The restored session resumes the checkpointed stream exactly:
+		// batch, seed, projection, pool and delivery cursor all come from
+		// the envelope (streams are device-independent, so it runs on this
+		// server's device whatever the original ran on).
+		sess, err = prob.RestoreSession(ck, s.cfg.Device)
+	} else {
+		sess, err = prob.NewSession(sampling.SessionConfig{
+			BatchSize:  batch,
+			Seed:       seed,
+			Device:     s.cfg.Device,
+			Projection: projection, // nil inherits the formula's declared set
+		})
+	}
 	if err != nil {
 		s.errorBody(w, http.StatusInternalServerError, err.Error(), outcomeStreamErr, "")
 		return
+	}
+	if ck != nil {
+		s.met.resumed()
 	}
 	projVars := len(sess.Projection())
 
@@ -548,6 +694,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if err := writeLine(metaLine{
 		Type: "meta", Key: prob.Key(), Batch: batch, Target: target,
 		ProjectedVars: projVars,
+		Resumed:       ck != nil,
+		Delivered:     sess.Delivered(),
 		QueueMS:       float64(queueWait.Microseconds()) / 1e3,
 	}); err != nil {
 		s.met.request(outcomeStreamErr)
@@ -557,6 +705,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// The continuous scheduler can overshoot small targets by a whole
 	// retired batch; the service contract is "at most target solutions per
 	// request", so the sink stops the stream at exactly the target.
+	// Delivery is counted on the session (not this request) so a resumed
+	// stream's earlier deliveries count toward its target.
 	delivered := 0
 	st, serr := sess.Stream(ctx, target, func(sol []bool) error {
 		if err := writeLine(solutionLine{Type: "solution", Assignment: bitString(sol)}); err != nil {
@@ -564,13 +714,28 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		delivered++
 		s.met.addSolutions(1, projVars > 0, time.Now())
-		if target > 0 && delivered >= target {
+		if target > 0 && sess.Delivered() >= target {
 			return sampling.Stop
 		}
 		return nil
 	})
 
 	drained := s.sessCtx.Err() != nil && st.Timeout
+	// A drained stream parks its full state in the spool and hands the
+	// client a resume token on the summary line: the drain preserved the
+	// session instead of discarding it, so nothing is lost across the
+	// restart — the next process re-admits the very same stream.
+	var resumeToken string
+	if drained && serr == nil {
+		if env, cerr := sess.Checkpoint(); cerr != nil {
+			s.log.Warn("drain checkpoint failed", "id", id, "err", cerr)
+		} else if tok, perr := s.spool.Put(env); perr != nil {
+			s.log.Warn("drain checkpoint not spooled", "id", id, "err", perr)
+		} else {
+			resumeToken = tok
+			s.met.checkpointed()
+		}
+	}
 	outcome := outcomeOK
 	if serr != nil {
 		outcome = outcomeStreamErr
@@ -581,6 +746,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			ElapsedMS: float64(st.Elapsed.Microseconds()) / 1e3,
 			SolPerSec: st.Throughput(), Timeout: st.Timeout,
 			Exhausted: st.Exhausted, Drained: drained,
+			Resume: resumeToken,
 		})
 	}
 	if projVars > 0 {
@@ -591,7 +757,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		"target", target, "projected", projVars, "unique", st.Unique, "delivered", delivered,
 		"queue_ms", queueWait.Milliseconds(), "elapsed_ms", st.Elapsed.Milliseconds(),
 		"total_ms", time.Since(t0).Milliseconds(), "timeout", st.Timeout,
-		"exhausted", st.Exhausted, "drained", drained, "outcome", outcome)
+		"exhausted", st.Exhausted, "drained", drained, "resumed", ck != nil,
+		"checkpointed", resumeToken != "", "outcome", outcome)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -615,8 +782,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reserved := s.reserved
 	s.memMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	spoolEntries, spoolBytes, spoolEvictions := s.spool.Stats()
 	s.met.Write(w, s.queue.Depth(), s.queue.Active(), reserved, s.cfg.MemoryBudget,
-		s.compiler.Stats(), s.draining.Load())
+		s.compiler.Stats(), s.draining.Load(),
+		spoolEntries, spoolBytes, spoolEvictions)
 }
 
 // bitString renders a dense assignment as the CLI-compatible 0/1 string.

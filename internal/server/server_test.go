@@ -33,6 +33,8 @@ type streamLine struct {
 	Timeout       bool    `json:"timeout"`
 	Exhausted     bool    `json:"exhausted"`
 	Drained       bool    `json:"drained"`
+	Resumed       bool    `json:"resumed"`
+	Resume        string  `json:"resume"`
 }
 
 type stream struct {

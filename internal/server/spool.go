@@ -1,0 +1,217 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// spool is the bounded checkpoint store behind resume tokens: when a drain
+// interrupts a stream, the session's checkpoint envelope parks here and an
+// opaque token (the envelope's SHA-256, hex) rides out on the stream's
+// done line. A later POST /v1/sample?resume=<token> takes the envelope
+// back out and re-admits the session.
+//
+// The spool is LRU-bounded by bytes: parking a new checkpoint evicts the
+// oldest ones first once the budget would overflow, so abandoned tokens
+// cannot pin unbounded memory — zero-loss is an offer with a shelf life,
+// not an unbounded liability. A checkpoint larger than the whole budget is
+// refused outright.
+//
+// With a directory configured, every entry is also written to disk and the
+// index is rebuilt from the directory on startup (recency order restored
+// from file modification times) — tokens then survive a full process
+// restart, which is what lets the chaos tier SIGKILL the server and still
+// resume every stream. Disk entries are verified against their token (the
+// content hash) when taken, so a torn write surfaces as a clean miss, never
+// as a corrupt resume.
+type spool struct {
+	mu        sync.Mutex
+	budget    int64
+	dir       string // "" = memory only
+	lru       *list.List
+	byToken   map[string]*list.Element
+	bytes     int64
+	evictions int64
+	log       *slog.Logger
+}
+
+// spoolEntry is one parked checkpoint. data is nil for entries indexed
+// from disk after a restart (loaded on Take).
+type spoolEntry struct {
+	token string
+	data  []byte
+	size  int64
+}
+
+// newSpool builds a spool with the given byte budget (<= 0 disables
+// spooling entirely: Put refuses, Take always misses). dir, when set, is
+// created and scanned for entries surviving a previous process.
+func newSpool(budget int64, dir string, log *slog.Logger) (*spool, error) {
+	sp := &spool{
+		budget:  budget,
+		dir:     dir,
+		lru:     list.New(),
+		byToken: map[string]*list.Element{},
+		log:     log,
+	}
+	if budget <= 0 || dir == "" {
+		return sp, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spool dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spool dir: %w", err)
+	}
+	// Oldest first, so the LRU front ends up holding the most recent.
+	type onDisk struct {
+		token string
+		size  int64
+		mtime int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		token, ok := strings.CutSuffix(e.Name(), ".ckpt")
+		if !ok || !validToken(token) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{token: token, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found {
+		el := sp.lru.PushFront(&spoolEntry{token: f.token, size: f.size})
+		sp.byToken[f.token] = el
+		sp.bytes += f.size
+	}
+	sp.evictLocked()
+	if n := sp.lru.Len(); n > 0 {
+		log.Info("spool recovered", "entries", n, "bytes", sp.bytes)
+	}
+	return sp, nil
+}
+
+// validToken reports whether s looks like a token this spool issued (a
+// lowercase SHA-256 hex string) — the gate that keeps resume lookups from
+// ever touching a path component they didn't construct.
+func validToken(s string) bool {
+	if len(s) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put parks one checkpoint envelope and returns its token. The data is
+// copied; eviction of older entries makes room. Put fails only when the
+// spool is disabled or the envelope alone exceeds the whole budget.
+func (sp *spool) Put(data []byte) (string, error) {
+	size := int64(len(data))
+	if sp.budget <= 0 {
+		return "", fmt.Errorf("spool disabled")
+	}
+	if size > sp.budget {
+		return "", fmt.Errorf("checkpoint (%d bytes) exceeds spool budget (%d)", size, sp.budget)
+	}
+	sum := sha256.Sum256(data)
+	token := hex.EncodeToString(sum[:])
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if el, ok := sp.byToken[token]; ok {
+		// Identical checkpoint already parked (token is the content hash):
+		// refresh its recency, park nothing new.
+		sp.lru.MoveToFront(el)
+		return token, nil
+	}
+	e := &spoolEntry{token: token, data: append([]byte(nil), data...), size: size}
+	sp.byToken[token] = sp.lru.PushFront(e)
+	sp.bytes += size
+	sp.evictLocked()
+	if sp.dir != "" {
+		if err := os.WriteFile(sp.path(token), data, 0o644); err != nil {
+			sp.log.Warn("spool write failed; token is memory-only", "err", err)
+		}
+	}
+	return token, nil
+}
+
+// Take removes and returns the checkpoint for a token. Tokens are
+// one-shot: a second Take (or any Take after eviction) misses. Disk-backed
+// entries whose bytes no longer hash to their token — torn or tampered
+// files — are dropped and reported as a miss.
+func (sp *spool) Take(token string) ([]byte, bool) {
+	if !validToken(token) {
+		return nil, false
+	}
+	sp.mu.Lock()
+	el, ok := sp.byToken[token]
+	if !ok {
+		sp.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*spoolEntry)
+	sp.lru.Remove(el)
+	delete(sp.byToken, token)
+	sp.bytes -= e.size
+	sp.mu.Unlock()
+
+	data := e.data
+	if sp.dir != "" {
+		if data == nil {
+			data, _ = os.ReadFile(sp.path(token))
+		}
+		os.Remove(sp.path(token))
+	}
+	if data == nil {
+		return nil, false
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != token {
+		sp.log.Warn("spool entry failed its content check; dropped", "token", token[:12])
+		return nil, false
+	}
+	return data, true
+}
+
+// evictLocked drops least-recent entries until the budget holds. Caller
+// holds sp.mu.
+func (sp *spool) evictLocked() {
+	for sp.bytes > sp.budget && sp.lru.Len() > 0 {
+		el := sp.lru.Back()
+		e := el.Value.(*spoolEntry)
+		sp.lru.Remove(el)
+		delete(sp.byToken, e.token)
+		sp.bytes -= e.size
+		sp.evictions++
+		if sp.dir != "" {
+			os.Remove(sp.path(e.token))
+		}
+	}
+}
+
+func (sp *spool) path(token string) string {
+	return filepath.Join(sp.dir, token+".ckpt")
+}
+
+// Stats returns the gauges exported on /metrics.
+func (sp *spool) Stats() (entries int, bytes, evictions int64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.lru.Len(), sp.bytes, sp.evictions
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+}
+
+func tokenOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestSpoolMemoryRoundTrip: Put/Take round-trips bytes, tokens are
+// one-shot, identical content dedups to one entry.
+func TestSpoolMemoryRoundTrip(t *testing.T) {
+	sp, err := newSpool(1<<20, "", testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("checkpoint envelope bytes")
+	tok, err := sp.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != tokenOf(data) {
+		t.Fatalf("token %q is not the content hash", tok)
+	}
+	// Same content parks once.
+	if tok2, _ := sp.Put(data); tok2 != tok {
+		t.Fatalf("duplicate Put returned a different token")
+	}
+	if n, b, _ := sp.Stats(); n != 1 || b != int64(len(data)) {
+		t.Fatalf("entries=%d bytes=%d after dedup Put, want 1/%d", n, b, len(data))
+	}
+	got, ok := sp.Take(tok)
+	if !ok || string(got) != string(data) {
+		t.Fatalf("Take = %q/%v, want the parked bytes", got, ok)
+	}
+	if _, ok := sp.Take(tok); ok {
+		t.Fatal("token is not one-shot")
+	}
+	// The returned slice is the spool's own copy, not the caller's buffer.
+	data[0] ^= 0xff
+	if got[0] == data[0] {
+		t.Fatal("Take aliases the Put caller's buffer")
+	}
+}
+
+// TestSpoolDiskRecovery: entries survive a "restart" (a second spool over
+// the same directory), and a file whose bytes no longer match its token
+// misses cleanly instead of resuming corrupt state.
+func TestSpoolDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := newSpool(1<<20, dir, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []byte("good envelope")
+	torn := []byte("torn envelope")
+	goodTok, err := sp.Put(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornTok, err := sp.Put(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the second file on disk — a torn write.
+	if err := os.WriteFile(filepath.Join(dir, tornTok+".ckpt"), []byte("torn envelop!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Junk files in the directory must not be indexed.
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, strings.Repeat("z", 64)+".ckpt"), []byte("x"), 0o644)
+
+	sp2, err := newSpool(1<<20, dir, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _ := sp2.Stats(); n != 2 {
+		t.Fatalf("recovered %d entries, want 2", n)
+	}
+	if got, ok := sp2.Take(goodTok); !ok || string(got) != string(good) {
+		t.Fatalf("recovered Take = %q/%v", got, ok)
+	}
+	if _, ok := sp2.Take(tornTok); ok {
+		t.Fatal("torn disk entry passed its content check")
+	}
+	// Taken entries leave no file behind.
+	if _, err := os.Stat(filepath.Join(dir, goodTok+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("taken entry still on disk: %v", err)
+	}
+}
+
+// TestSpoolDisabledAndBounds: a zero-budget spool refuses puts, an
+// oversized envelope is refused outright, and malformed tokens never touch
+// the index (or the filesystem).
+func TestSpoolDisabledAndBounds(t *testing.T) {
+	off, err := newSpool(0, "", testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Put([]byte("x")); err == nil {
+		t.Fatal("disabled spool accepted a Put")
+	}
+	if _, ok := off.Take(strings.Repeat("ab", 32)); ok {
+		t.Fatal("disabled spool returned an entry")
+	}
+	sp, err := newSpool(8, "", testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Put(make([]byte, 9)); err == nil {
+		t.Fatal("envelope larger than the whole budget was accepted")
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("A", 64), strings.Repeat("g", 64), "../../../../etc/passwd"} {
+		if _, ok := sp.Take(bad); ok {
+			t.Fatalf("malformed token %q hit", bad)
+		}
+	}
+}
