@@ -2,6 +2,7 @@
 // evaluation section on the synthetic benchmark suite:
 //
 //	paperbench -exp table2            # Table II: throughput, 14 instances
+//	paperbench -exp scale             # multi-core scaling: sol/s at 1/4/16 workers
 //	paperbench -exp fig2              # Fig. 2: latency vs unique solutions, 60 instances
 //	paperbench -exp fig3              # Fig. 3: learning curve + memory model
 //	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
@@ -18,7 +19,11 @@
 // counters) as machine-readable JSON, so CI can archive the perf
 // trajectory across commits. -checksched exits non-zero unless the
 // continuous scheduler's sol/s is at least round mode's on the small
-// smoke instances — the regression gate for the scheduler.
+// smoke instances — the regression gate for the scheduler. -checkscale
+// exits non-zero unless the 4-worker arm reaches 3x the 1-worker arm on
+// at least two instances (speedup leg skipped below 4 host CPUs) and
+// solution streams stay bit-identical across worker counts — the
+// regression gate for the multi-core tick.
 //
 // All experiments share one sampling.Compiler, so each instance is
 // transformed and engine-compiled once for the whole run (fig3, fig4 and
@@ -47,25 +52,29 @@ import (
 // report is the -json output: one object per run holding whichever
 // experiments executed plus the shared compile-cache counters.
 type report struct {
-	Schema  string                 `json:"schema"` // "paperbench/v1"
-	Suite   string                 `json:"suite"`  // "full" or "small"
-	Target  int                    `json:"target"`
-	Timeout string                 `json:"timeout"`
-	Workers int                    `json:"workers"`
-	GoOS    string                 `json:"goos"`
-	GoArch  string                 `json:"goarch"`
-	Table2  []harness.Table2Row    `json:"table2,omitempty"`
-	Sched   []harness.SchedRow     `json:"sched,omitempty"`
-	Serve   []ServeRow             `json:"serve,omitempty"`
-	Quality []QualityRow           `json:"quality,omitempty"`
-	Fig2    []harness.Fig2Point    `json:"fig2,omitempty"`
-	Fig4    []harness.Fig4Row      `json:"fig4,omitempty"`
-	Cache   sampling.CompilerStats `json:"cache"`
+	Schema  string `json:"schema"` // "paperbench/v1"
+	Suite   string `json:"suite"`  // "full" or "small"
+	Target  int    `json:"target"`
+	Timeout string `json:"timeout"`
+	Workers int    `json:"workers"`
+	// HostCPUs is runtime.NumCPU() on the measuring host — the context a
+	// scale curve must be read in (a 1-CPU runner measures a flat curve).
+	HostCPUs int                    `json:"host_cpus"`
+	GoOS     string                 `json:"goos"`
+	GoArch   string                 `json:"goarch"`
+	Table2   []harness.Table2Row    `json:"table2,omitempty"`
+	Scale    []harness.ScaleRow     `json:"scale,omitempty"`
+	Sched    []harness.SchedRow     `json:"sched,omitempty"`
+	Serve    []ServeRow             `json:"serve,omitempty"`
+	Quality  []QualityRow           `json:"quality,omitempty"`
+	Fig2     []harness.Fig2Point    `json:"fig2,omitempty"`
+	Fig4     []harness.Fig4Row      `json:"fig4,omitempty"`
+	Cache    sampling.CompilerStats `json:"cache"`
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2 | fig2 | fig3 | fig4 | engine | sched | serve | quality | all")
+		exp        = flag.String("exp", "all", "experiment: table2 | scale | fig2 | fig3 | fig4 | engine | sched | serve | quality | all")
 		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -73,6 +82,7 @@ func main() {
 		small      = flag.Bool("small", false, "use the fast 4-instance smoke suite")
 		jsonPath   = flag.String("json", "", "write machine-readable results to this file")
 		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
+		checkScale = flag.Bool("checkscale", false, "with -exp scale: fail unless the 4-worker arm reaches 3x on at least two instances (skipped below 4 host CPUs) and all streams stay identical")
 		checkQual  = flag.Bool("checkquality", false, "with -exp quality: fail unless every exact-counted instance hits full coverage and passes the uniformity smoke")
 		maxCNF     = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
 	)
@@ -110,10 +120,14 @@ func main() {
 		GoArch:  runtime.GOARCH,
 	}
 
-	schedOK, serveOK, qualOK := true, true, true
+	rep.HostCPUs = runtime.NumCPU()
+
+	schedOK, serveOK, qualOK, scaleOK := true, true, true, true
 	switch *exp {
 	case "table2":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
+	case "scale":
+		rep.Scale, scaleOK = runScale(ctx, table2Set(), opt, *checkScale)
 	case "fig2":
 		rep.Fig2 = runFig2(ctx, fig2Set(), opt, *csv)
 	case "fig3":
@@ -130,6 +144,8 @@ func main() {
 		rep.Quality, qualOK = runQuality(ctx, compiler, dev, *checkQual)
 	case "all":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
+		fmt.Println()
+		rep.Scale, scaleOK = runScale(ctx, table2Set(), opt, *checkScale)
 		fmt.Println()
 		rep.Fig2 = runFig2(ctx, fig2Set(), opt, *csv)
 		fmt.Println()
@@ -170,6 +186,10 @@ func main() {
 	}
 	if !qualOK {
 		fmt.Fprintln(os.Stderr, "paperbench: quality check FAILED — coverage or uniformity below the checked-in floor")
+		os.Exit(1)
+	}
+	if !scaleOK {
+		fmt.Fprintln(os.Stderr, "paperbench: scale check FAILED — multi-core speedup or stream identity below the gate")
 		os.Exit(1)
 	}
 }
@@ -218,6 +238,55 @@ func runFig4(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptio
 	rows := harness.RunFig4(ctx, ins, opt)
 	harness.RenderFig4(os.Stdout, rows)
 	return rows
+}
+
+// scaleWorkerCounts is the scaling curve's x-axis: sequential reference,
+// a typical CI runner, and a typical many-core workstation.
+var scaleWorkerCounts = []int{1, 4, 16}
+
+// runScale measures the parallel tick's worker scaling (fixed batch,
+// same seed per arm, one compiled problem per instance). With check set,
+// the 4-worker arm must reach 3x the 1-worker arm on at least two
+// instances and every row's streams must stay identical — the multi-core
+// regression gate. Speedup can only materialize when the host has the
+// cores: below 4 CPUs the gate degrades to the stream-identity check and
+// reports the speedup leg as skipped instead of failing on hardware the
+// curve cannot exist on.
+func runScale(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, check bool) ([]harness.ScaleRow, bool) {
+	fmt.Printf("== Scale: worker-count scaling of the parallel tick (target %d, timeout %v) ==\n\n",
+		opt.Target, opt.Timeout)
+	rows := harness.RunScale(ctx, ins, scaleWorkerCounts, 2, opt)
+	harness.RenderScale(os.Stdout, rows)
+	if !check {
+		return rows, true
+	}
+	ok := true
+	for _, r := range rows {
+		if !r.Identical {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: solution streams diverged across worker counts\n", r.Instance)
+			ok = false
+		}
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(os.Stderr, "paperbench: -checkscale speedup leg SKIPPED — host has %d CPUs, need >= 4\n",
+			runtime.NumCPU())
+		return rows, ok
+	}
+	const wantSpeedup, wantInstances = 3.0, 2
+	fast := 0
+	for _, r := range rows {
+		for _, a := range r.Arms {
+			if a.Workers == 4 && a.SolS > 0 && a.Speedup >= wantSpeedup {
+				fast++
+			}
+		}
+	}
+	if fast < wantInstances {
+		fmt.Fprintf(os.Stderr, "paperbench: only %d instances reached %.0fx at 4 workers, need >= %d\n",
+			fast, wantSpeedup, wantInstances)
+		ok = false
+	}
+	return rows, ok
 }
 
 // runSched measures the continuous-batch scheduler against the legacy

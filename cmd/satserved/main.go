@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -142,7 +143,9 @@ func run() error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Info("listening", "addr", bound, "workers", *workers,
-		"queue", *queueDepth, "membudget_mib", *memBudget)
+		"queue", *queueDepth, "membudget_mib", *memBudget,
+		"device", dev.Name(), "device_workers", dev.Workers(),
+		"gomaxprocs", runtime.GOMAXPROCS(0))
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

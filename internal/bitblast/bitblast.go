@@ -75,15 +75,29 @@ func New(c *circuit.Circuit, nodeOf map[int]circuit.NodeID, f *cnf.Formula) *Pro
 // resolution.
 func (p *Program) NumClauses() int { return len(p.clauses) }
 
+// sweepWidth is how many packed words one pass over the node/clause tape
+// evaluates: 4 words = 256 candidate lanes per pass. The unrolled kernels
+// keep 4 independent accumulators per gate, so the per-node switch
+// dispatch, fanin-slice iteration and clause-literal walk are amortized
+// 4× and the accumulators schedule as independent instruction streams.
+const sweepWidth = 4
+
 // Eval is reusable per-goroutine scratch for a Program.
 type Eval struct {
 	prog *Program
-	vals []uint64 // one packed word per circuit node
+	vals []uint64 // sweepWidth packed words per circuit node, node-major
 }
 
 // NewEval allocates scratch for word-level sweeps over p.
 func (p *Program) NewEval() *Eval {
-	return &Eval{prog: p, vals: make([]uint64, len(p.circ.Nodes))}
+	return &Eval{prog: p, vals: make([]uint64, len(p.circ.Nodes)*sweepWidth)}
+}
+
+// ScratchBytes returns the resident size of one Eval's scratch — the
+// per-worker verifier cost a session's memory model charges for each
+// device worker.
+func (p *Program) ScratchBytes() int64 {
+	return int64(len(p.circ.Nodes)) * sweepWidth * 8
 }
 
 // Verify evaluates the circuit on packed input columns and checks every
@@ -108,9 +122,16 @@ func (e *Eval) Verify(cols [][]uint64, words int, valid []uint64) {
 		}
 		return
 	}
-	for w := 0; w < words; w++ {
-		e.evalWord(cols, w)
-		valid[w] = e.checkWord()
+	var ws [sweepWidth]int
+	for w := 0; w < words; w += sweepWidth {
+		k := words - w
+		if k > sweepWidth {
+			k = sweepWidth
+		}
+		for j := 0; j < k; j++ {
+			ws[j] = w + j
+		}
+		e.flushGroup(cols, &ws, k, valid, nil, nil)
 	}
 }
 
@@ -123,24 +144,42 @@ func (e *Eval) Verify(cols [][]uint64, words int, valid []uint64) {
 // changed lane's word dirty reads exact results at a fraction of the full
 // sweep's cost. Like Verify, it performs no allocations.
 func (e *Eval) VerifyMasked(cols [][]uint64, words int, mask, valid []uint64) {
+	e.VerifyMaskedRange(cols, 0, words, mask, valid)
+}
+
+// VerifyMaskedRange is VerifyMasked restricted to words [lo, hi) — the
+// per-tile form the parallel scheduler uses: each worker sweeps only the
+// word range its tiles own, with its own Eval scratch. Dirty words are
+// gathered into groups of sweepWidth so a sparse mask still fills wide
+// passes. No allocations.
+func (e *Eval) VerifyMaskedRange(cols [][]uint64, lo, hi int, mask, valid []uint64) {
 	p := e.prog
 	if len(cols) != len(p.circ.Inputs) {
 		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
 	}
 	if p.unsat {
-		for w := 0; w < words; w++ {
+		for w := lo; w < hi; w++ {
 			if mask[w] != 0 {
 				valid[w] = 0
 			}
 		}
 		return
 	}
-	for w := 0; w < words; w++ {
+	var ws [sweepWidth]int
+	k := 0
+	for w := lo; w < hi; w++ {
 		if mask[w] == 0 {
 			continue
 		}
-		e.evalWord(cols, w)
-		valid[w] = e.checkWord()
+		ws[k] = w
+		k++
+		if k == sweepWidth {
+			e.flushGroup(cols, &ws, sweepWidth, valid, nil, nil)
+			k = 0
+		}
+	}
+	if k > 0 {
+		e.flushGroup(cols, &ws, k, valid, nil, nil)
 	}
 }
 
@@ -165,10 +204,16 @@ func (e *Eval) VerifyProject(cols [][]uint64, words int, valid []uint64, plan []
 		}
 		return
 	}
-	for w := 0; w < words; w++ {
-		e.evalWord(cols, w)
-		valid[w] = e.checkWord()
-		e.projectWord(plan, proj, w)
+	var ws [sweepWidth]int
+	for w := 0; w < words; w += sweepWidth {
+		k := words - w
+		if k > sweepWidth {
+			k = sweepWidth
+		}
+		for j := 0; j < k; j++ {
+			ws[j] = w + j
+		}
+		e.flushGroup(cols, &ws, k, valid, plan, proj)
 	}
 }
 
@@ -178,12 +223,19 @@ func (e *Eval) VerifyProject(cols [][]uint64, words int, valid []uint64, plan []
 // function of its packed bits). The continuous-batch scheduler's projected
 // dedup relies on this caching contract. No allocations.
 func (e *Eval) VerifyMaskedProject(cols [][]uint64, words int, mask, valid []uint64, plan []int32, proj [][]uint64) {
+	e.VerifyMaskedProjectRange(cols, 0, words, mask, valid, plan, proj)
+}
+
+// VerifyMaskedProjectRange is VerifyMaskedProject restricted to words
+// [lo, hi) — the per-tile form for parallel projected sessions. No
+// allocations.
+func (e *Eval) VerifyMaskedProjectRange(cols [][]uint64, lo, hi int, mask, valid []uint64, plan []int32, proj [][]uint64) {
 	p := e.prog
 	if len(cols) != len(p.circ.Inputs) {
 		panic(fmt.Sprintf("bitblast: got %d input columns for %d inputs", len(cols), len(p.circ.Inputs)))
 	}
 	if p.unsat {
-		for w := 0; w < words; w++ {
+		for w := lo; w < hi; w++ {
 			if mask[w] != 0 {
 				valid[w] = 0
 				for k := range plan {
@@ -193,24 +245,62 @@ func (e *Eval) VerifyMaskedProject(cols [][]uint64, words int, mask, valid []uin
 		}
 		return
 	}
-	for w := 0; w < words; w++ {
+	var ws [sweepWidth]int
+	k := 0
+	for w := lo; w < hi; w++ {
 		if mask[w] == 0 {
 			continue
 		}
-		e.evalWord(cols, w)
-		valid[w] = e.checkWord()
-		e.projectWord(plan, proj, w)
+		ws[k] = w
+		k++
+		if k == sweepWidth {
+			e.flushGroup(cols, &ws, sweepWidth, valid, plan, proj)
+			k = 0
+		}
+	}
+	if k > 0 {
+		e.flushGroup(cols, &ws, k, valid, plan, proj)
 	}
 }
 
-// projectWord gathers the packed projected signature of input word w from
-// the node values computed by evalWord.
-func (e *Eval) projectWord(plan []int32, proj [][]uint64, w int) {
-	for k, nd := range plan {
+// flushGroup runs one wide pass over the k (1..sweepWidth) gathered words
+// ws[0..k-1]: node evaluation, the clause sweep, the validity store, and —
+// when plan is non-nil — the projected-signature store.
+func (e *Eval) flushGroup(cols [][]uint64, ws *[sweepWidth]int, k int, valid []uint64, plan []int32, proj [][]uint64) {
+	e.evalWords(cols, ws, k)
+	m0, m1, m2, m3 := e.checkWords()
+	switch k {
+	case 4:
+		valid[ws[3]] = m3
+		fallthrough
+	case 3:
+		valid[ws[2]] = m2
+		fallthrough
+	case 2:
+		valid[ws[1]] = m1
+		fallthrough
+	default:
+		valid[ws[0]] = m0
+	}
+	if plan != nil {
+		e.projectWords(plan, proj, ws, k)
+	}
+}
+
+// projectWords gathers the packed projected signatures of the k gathered
+// words from the node values computed by evalWords.
+func (e *Eval) projectWords(plan []int32, proj [][]uint64, ws *[sweepWidth]int, k int) {
+	for pk, nd := range plan {
+		col := proj[pk]
 		if nd >= 0 {
-			proj[k][w] = e.vals[nd]
+			b := int(nd) * sweepWidth
+			for j := 0; j < k; j++ {
+				col[ws[j]] = e.vals[b+j]
+			}
 		} else {
-			proj[k][w] = 0
+			for j := 0; j < k; j++ {
+				col[ws[j]] = 0
+			}
 		}
 	}
 }
@@ -222,91 +312,164 @@ func (e *Eval) projectWord(plan []int32, proj [][]uint64, w int) {
 // extracted function rather than the originating CNF.
 func (e *Eval) OutputsMask(cols [][]uint64, words int, ok []uint64) {
 	p := e.prog
-	for w := 0; w < words; w++ {
-		e.evalWord(cols, w)
-		m := ^uint64(0)
-		for _, o := range p.circ.Outputs {
-			v := e.vals[o.Node]
-			if !o.Target {
-				v = ^v
-			}
-			m &= v
+	var ws [sweepWidth]int
+	for w := 0; w < words; w += sweepWidth {
+		k := words - w
+		if k > sweepWidth {
+			k = sweepWidth
 		}
-		ok[w] = m
+		for j := 0; j < k; j++ {
+			ws[j] = w + j
+		}
+		e.evalWords(cols, &ws, k)
+		for j := 0; j < k; j++ {
+			m := ^uint64(0)
+			for _, o := range p.circ.Outputs {
+				v := e.vals[int(o.Node)*sweepWidth+j]
+				if !o.Target {
+					v = ^v
+				}
+				m &= v
+			}
+			ok[w+j] = m
+		}
 	}
 }
 
-// evalWord computes every node's packed value for input word w.
-func (e *Eval) evalWord(cols [][]uint64, w int) {
+// evalWords computes every node's packed values for the k (1..sweepWidth)
+// gathered input words ws[0..k-1] in one unrolled pass. Short groups pad by
+// repeating the last real word, so the body is branch-free over lanes: the
+// duplicate results are recomputed and simply never stored.
+func (e *Eval) evalWords(cols [][]uint64, ws *[sweepWidth]int, k int) {
 	c := e.prog.circ
 	vals := e.vals
+	w0 := ws[0]
+	w1, w2, w3 := w0, w0, w0
+	if k > 1 {
+		w1 = ws[1]
+		w2, w3 = w1, w1
+	}
+	if k > 2 {
+		w2 = ws[2]
+		w3 = w2
+	}
+	if k > 3 {
+		w3 = ws[3]
+	}
 	for i, id := range c.Inputs {
-		vals[id] = cols[i][w]
+		col := cols[i]
+		b := int(id) * sweepWidth
+		vals[b] = col[w0]
+		vals[b+1] = col[w1]
+		vals[b+2] = col[w2]
+		vals[b+3] = col[w3]
 	}
 	for id, nd := range c.Nodes {
+		b := id * sweepWidth
 		switch nd.Type {
 		case circuit.Input:
 			// loaded above
 		case circuit.Const:
+			v := uint64(0)
 			if nd.Val {
-				vals[id] = ^uint64(0)
-			} else {
-				vals[id] = 0
+				v = ^uint64(0)
 			}
+			vals[b] = v
+			vals[b+1] = v
+			vals[b+2] = v
+			vals[b+3] = v
 		case circuit.Buf:
-			vals[id] = vals[nd.Fanin[0]]
+			f := int(nd.Fanin[0]) * sweepWidth
+			vals[b] = vals[f]
+			vals[b+1] = vals[f+1]
+			vals[b+2] = vals[f+2]
+			vals[b+3] = vals[f+3]
 		case circuit.Not:
-			vals[id] = ^vals[nd.Fanin[0]]
+			f := int(nd.Fanin[0]) * sweepWidth
+			vals[b] = ^vals[f]
+			vals[b+1] = ^vals[f+1]
+			vals[b+2] = ^vals[f+2]
+			vals[b+3] = ^vals[f+3]
 		case circuit.And, circuit.Nand:
-			v := ^uint64(0)
+			v0, v1, v2, v3 := ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
 			for _, f := range nd.Fanin {
-				v &= vals[f]
+				fb := int(f) * sweepWidth
+				v0 &= vals[fb]
+				v1 &= vals[fb+1]
+				v2 &= vals[fb+2]
+				v3 &= vals[fb+3]
 			}
 			if nd.Type == circuit.Nand {
-				v = ^v
+				v0, v1, v2, v3 = ^v0, ^v1, ^v2, ^v3
 			}
-			vals[id] = v
+			vals[b] = v0
+			vals[b+1] = v1
+			vals[b+2] = v2
+			vals[b+3] = v3
 		case circuit.Or, circuit.Nor:
-			v := uint64(0)
+			v0, v1, v2, v3 := uint64(0), uint64(0), uint64(0), uint64(0)
 			for _, f := range nd.Fanin {
-				v |= vals[f]
+				fb := int(f) * sweepWidth
+				v0 |= vals[fb]
+				v1 |= vals[fb+1]
+				v2 |= vals[fb+2]
+				v3 |= vals[fb+3]
 			}
 			if nd.Type == circuit.Nor {
-				v = ^v
+				v0, v1, v2, v3 = ^v0, ^v1, ^v2, ^v3
 			}
-			vals[id] = v
+			vals[b] = v0
+			vals[b+1] = v1
+			vals[b+2] = v2
+			vals[b+3] = v3
 		case circuit.Xor, circuit.Xnor:
-			v := uint64(0)
+			v0, v1, v2, v3 := uint64(0), uint64(0), uint64(0), uint64(0)
 			for _, f := range nd.Fanin {
-				v ^= vals[f]
+				fb := int(f) * sweepWidth
+				v0 ^= vals[fb]
+				v1 ^= vals[fb+1]
+				v2 ^= vals[fb+2]
+				v3 ^= vals[fb+3]
 			}
 			if nd.Type == circuit.Xnor {
-				v = ^v
+				v0, v1, v2, v3 = ^v0, ^v1, ^v2, ^v3
 			}
-			vals[id] = v
+			vals[b] = v0
+			vals[b+1] = v1
+			vals[b+2] = v2
+			vals[b+3] = v3
 		}
 	}
 }
 
-// checkWord ANDs all clause masks for the current word's node values.
-func (e *Eval) checkWord() uint64 {
-	sat := ^uint64(0)
+// checkWords ANDs all clause masks over the current group's node values,
+// returning one satisfaction mask per gathered word. The early exit fires
+// only when all four lanes are dead.
+func (e *Eval) checkWords() (uint64, uint64, uint64, uint64) {
+	s0, s1, s2, s3 := ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
 	vals := e.vals
 	for _, cl := range e.prog.clauses {
-		m := uint64(0)
+		c0, c1, c2, c3 := uint64(0), uint64(0), uint64(0), uint64(0)
 		for _, l := range cl {
-			v := vals[l.node]
+			b := int(l.node) * sweepWidth
+			v0, v1, v2, v3 := vals[b], vals[b+1], vals[b+2], vals[b+3]
 			if l.neg {
-				v = ^v
+				v0, v1, v2, v3 = ^v0, ^v1, ^v2, ^v3
 			}
-			m |= v
+			c0 |= v0
+			c1 |= v1
+			c2 |= v2
+			c3 |= v3
 		}
-		sat &= m
-		if sat == 0 {
-			return 0
+		s0 &= c0
+		s1 &= c1
+		s2 &= c2
+		s3 &= c3
+		if s0|s1|s2|s3 == 0 {
+			return 0, 0, 0, 0
 		}
 	}
-	return sat
+	return s0, s1, s2, s3
 }
 
 // Hash64 returns a SplitMix64-based hash of a packed bit vector — the

@@ -142,7 +142,8 @@ func (p *Problem) MemoryEstimate(workers, batch int, momentum bool) int64 {
 	n := int64(p.eng.numInputs)
 	b := int64(batch)
 	fixed := int64(workers) * int64(p.tile) * int64(p.eng.numSlots+p.eng.numGregs) * 4
-	linear := 4 * b * n // V
+	fixed += int64(workers) * p.verify.ScratchBytes() // per-worker bitblast Eval
+	linear := 4 * b * n                               // V
 	if momentum {
 		linear += 4 * b * n
 	}

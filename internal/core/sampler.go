@@ -190,18 +190,39 @@ type Sampler struct {
 	// sessions pay nothing; contReady is cleared by Round/RoundTrace so an
 	// interleaved continuous call re-seeds from the round stream.
 	contReady  bool
-	track      bool                // stepTile records hardened-sign changes
-	stile      int                 // scheduler tile (rows per tile, ≤ prob.tile)
-	numTiles   int                 // fixed tile count covering the batch
-	active     []int32             // live rows per tile, compacted to the head
-	ages       []int32             // GD steps since the row's last (re)start
-	restarts   []uint32            // per-slot restart counter (noise stream key)
-	changed    []bool              // lane's hardened bits may differ from cols
-	retiredFl  []bool              // per-sweep retirement flags (scratch)
-	dirty      []uint64            // per-word dirty mask for the masked sweep
-	staleRet   int                 // rows retired since the last new unique
-	exhausted  bool                // saturation guard tripped
-	contStepFn func(w, lo, hi int) // prebound tile worker (keeps ticks 0 allocs)
+	track      bool     // stepTile records hardened-sign changes
+	stile      int      // scheduler tile (rows per tile, multiple of 64)
+	numTiles   int      // fixed tile count covering the batch
+	active     []int32  // live rows per tile, compacted to the head
+	ages       []int32  // GD steps since the row's last (re)start
+	restarts   []uint32 // per-slot restart counter (noise stream key)
+	chg        []uint64 // change bitmap: lane's hardened bits may differ from cols
+	retiredFl  []bool   // per-sweep retirement flags (scratch)
+	dirty      []uint64 // per-word dirty mask for the masked sweep
+	staleRet   int      // rows retired since the last new unique
+	exhausted  bool     // saturation guard tripped
+	activeRows int      // running Σ active (updated at retire/refill)
+
+	// Parallel tick state: every tick phase (sweep, refill, GD step) runs
+	// as one RunWorkers dispatch in which each worker claims the tiles of
+	// its contiguous range, then steals unclaimed tiles from the most
+	// backlogged range. Tiles are word-aligned, so no two workers ever
+	// touch the same uint64 of cols/valid/dirty/chg. All closures are
+	// prebound — a steady-state tick performs no allocations.
+	vevals   []*bitblast.Eval // per-worker verifier scratch
+	claims   []uint32         // per-tile claim stamps (CAS on the tick epoch)
+	epoch    uint32           // current phase's claim stamp
+	curPhase func(w, t int)   // tile body of the phase being dispatched
+	curK     int              // workers participating in the current phase
+	tileFn   func(w int)      // prebound claim-and-steal worker loop
+	sweepPh  func(w, t int)   // prebound phase bodies
+	refillPh func(w, t int)
+	stepPh   func(w, t int)
+	retLanes []int32   // per-tile regions of satisfied lanes, row order
+	retCnt   []int32   // satisfied lanes per tile (tick scratch)
+	stallCnt []int32   // age-capped lanes per tile (tick scratch)
+	refillQ  []int32   // per-tile refill quotas (tick scratch)
+	tileLoss []float64 // per-tile GD loss, summed in tile order
 }
 
 // New compiles (f, ext) into a Problem and builds a sampler session over
@@ -257,18 +278,17 @@ func newSession(p *Problem, cfg Config) (*Sampler, error) {
 
 	// Scheduler tiles: the continuous scheduler parallelizes whole tiles
 	// (its per-tile active regions make arbitrary row stripes impossible).
-	// The tile size is a pure function of the batch and the cache tile —
-	// never of the device — so compaction targets and per-slot restart
-	// streams, and therefore the solution stream for a seed, are identical
-	// for any worker count. Large batches split the cache tile into up to
-	// 64 scheduler tiles (≥64 rows each) to keep many-worker devices fed.
-	s.stile = (batch + 63) / 64
-	if s.stile < 64 {
-		s.stile = 64
-	}
-	if s.stile > p.tile {
-		s.stile = p.tile
-	}
+	// The tile size is a pure function of the batch — never of the device —
+	// so compaction targets and per-slot restart streams, and therefore the
+	// solution stream for a seed, are identical for any worker count. Large
+	// batches split into up to 64 scheduler tiles to keep many-worker
+	// devices fed. Tiles are multiples of 64 rows so a tile's packed words
+	// (cols/valid/dirty/chg) are exclusively its own — the property that
+	// lets tick phases run tiles on different workers with no shared-word
+	// races. The GD step re-chunks each scheduler tile into cache tiles
+	// (prob.tile) internally, so dropping the old ≤prob.tile cap costs no
+	// locality.
+	s.stile = ((batch+63)/64 + 63) &^ 63
 	s.numTiles = (batch + s.stile - 1) / s.stile
 
 	words := (batch + 63) / 64
@@ -630,7 +650,9 @@ func (s *Sampler) stepTile(sc *stepScratch, r0, nt int) float64 {
 			flipped = flipped || (old > 0) != (nv > 0)
 		}
 		if s.track && flipped {
-			s.changed[r] = true
+			// Word-exclusive in continuous mode: GD runs whole scheduler
+			// tiles per worker and tiles are 64-row aligned.
+			s.chg[r>>6] |= 1 << (uint(r) & 63)
 		}
 	}
 	return sum

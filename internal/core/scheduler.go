@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math/bits"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/bitblast"
 	"repro/internal/tensor"
 )
 
@@ -43,12 +46,26 @@ import (
 // satisfaction odds, so no harvest is lost, but a restart's raw draw is
 // never itself verified.
 //
-// Determinism: the sweep, retire, compaction and refill passes are
-// sequential and depend only on the packed bits and per-slot counters; the
-// GD step is row-independent. A given seed therefore produces the same
-// solution stream on any device parallelism, and the first tick sees
-// exactly the V state round 0 of the round sampler sees (initContinuous
-// draws from the same round stream).
+// Parallelism (see DESIGN.md, "Multi-core ticks"): the tick runs as four
+// phases with scheduler tiles as the ownership unit. Phase A (parallel)
+// hardens, verifies, ages and compacts each tile independently — per-worker
+// bitblast.Eval scratch, per-tile retire buffers — with workers claiming
+// the tiles of a contiguous range and stealing whole tiles from the most
+// backlogged range once drained. Phase B (sequential) merges retired rows
+// into the shared dedup pool in tile order, then row order — exactly the
+// order a one-worker sweep visits them — and computes per-tile refill
+// quotas by the same sequential tile walk. Phase C (parallel) refills each
+// tile to its quota from per-slot restart streams. Phase D (parallel) runs
+// the fused GD step per tile, accumulating loss per tile and summing in
+// tile order.
+//
+// Determinism: tile work touches only tile-owned words (tiles are 64-row
+// aligned), the merge and quota walks are sequential and tile-ordered,
+// restart noise is a pure function of (seed, slot, restart counter), and
+// the loss reduction is tile-ordered. A given seed therefore produces a
+// bit-identical solution stream — and identical stats — at any worker
+// count, and the first tick sees exactly the V state round 0 of the round
+// sampler sees (initContinuous draws from the same round stream).
 
 const (
 	// restartStride separates the per-slot restart noise streams from one
@@ -96,14 +113,10 @@ func (s *Sampler) ContinuousStep(target int) int {
 func (s *Sampler) Exhausted() bool { return s.exhausted }
 
 // ActiveRows reports how many batch rows the scheduler currently runs GD
-// on (the full batch outside the admission-controlled drain).
-func (s *Sampler) ActiveRows() int {
-	n := 0
-	for _, a := range s.active {
-		n += int(a)
-	}
-	return n
-}
+// on (the full batch outside the admission-controlled drain). The count is
+// maintained incrementally at retire/refill — it is read on every tick's
+// refill and loss paths, where an O(numTiles) recompute used to sit.
+func (s *Sampler) ActiveRows() int { return s.activeRows }
 
 // initContinuous seeds the scheduler. V is drawn from the round stream —
 // the first tick sees exactly the state round 0 of the round sampler sees
@@ -119,12 +132,18 @@ func (s *Sampler) initContinuous() {
 	s.track = true
 	for r := 0; r < batch; r++ {
 		s.ages[r] = 0
-		s.changed[r] = true
 		s.retiredFl[r] = false
+	}
+	for w := range s.chg {
+		s.chg[w] = ^uint64(0)
+	}
+	if tail := uint(batch) & 63; tail != 0 {
+		s.chg[len(s.chg)-1] = 1<<tail - 1
 	}
 	for t := 0; t < s.numTiles; t++ {
 		s.active[t] = int32(s.tileCap(t))
 	}
+	s.activeRows = batch
 	for w := range s.valid {
 		s.valid[w] = 0
 	}
@@ -142,22 +161,103 @@ func (s *Sampler) ensureContState() {
 		return
 	}
 	batch := s.cfg.BatchSize
+	words := (batch + 63) / 64
 	s.ages = make([]int32, batch)
 	s.restarts = make([]uint32, batch)
-	s.changed = make([]bool, batch)
+	s.chg = make([]uint64, words)
 	s.retiredFl = make([]bool, batch)
-	s.dirty = make([]uint64, (batch+63)/64)
+	s.dirty = make([]uint64, words)
 	s.active = make([]int32, s.numTiles)
-	s.contStepFn = func(w, lo, hi int) {
-		sc := &s.scratch[w]
-		sum := 0.0
-		for t := lo; t < hi; t++ {
-			if nt := int(s.active[t]); nt > 0 {
-				sum += s.stepTile(sc, t*s.stile, nt)
+	s.claims = make([]uint32, s.numTiles)
+	s.retLanes = make([]int32, s.numTiles*s.stile)
+	s.retCnt = make([]int32, s.numTiles)
+	s.stallCnt = make([]int32, s.numTiles)
+	s.refillQ = make([]int32, s.numTiles)
+	s.tileLoss = make([]float64, s.numTiles)
+	// Worker 0 reuses the session Eval (collect shares it); the rest get
+	// their own scratch so phase A verifies tiles concurrently.
+	s.vevals = make([]*bitblast.Eval, len(s.scratch))
+	s.vevals[0] = s.veval
+	for w := 1; w < len(s.vevals); w++ {
+		s.vevals[w] = s.prob.verify.NewEval()
+	}
+	// Prebound method values: dispatching a phase stores one of these in
+	// curPhase — no per-tick closure allocation.
+	s.sweepPh = s.sweepTile
+	s.refillPh = s.refillTile
+	s.stepPh = s.stepActiveTile
+	s.tileFn = s.tileWorker
+}
+
+// runTiles dispatches one parallel phase over all scheduler tiles. Worker
+// w owns the contiguous tile range [w·nt/k, (w+1)·nt/k); it claims and
+// processes its own tiles front to back, then steals unclaimed tiles from
+// other ranges. Claims are epoch-stamped CAS words: every phase bumps the
+// epoch, so claim state never needs clearing. With one worker the claim
+// loop degenerates to a sequential in-order walk — the reference ordering
+// every other worker count must reproduce.
+func (s *Sampler) runTiles(phase func(w, t int)) {
+	k := s.cfg.Device.Workers()
+	if k > s.numTiles {
+		k = s.numTiles
+	}
+	s.curPhase = phase
+	s.curK = k
+	s.epoch++
+	s.cfg.Device.RunWorkers(k, s.tileFn)
+}
+
+// tileWorker is the per-worker claim-and-steal loop shared by all phases.
+func (s *Sampler) tileWorker(w int) {
+	k, nt, epoch := s.curK, s.numTiles, s.epoch
+	phase := s.curPhase
+	for t := w * nt / k; t < (w+1)*nt/k; t++ {
+		if s.claimTile(t, epoch) {
+			phase(w, t)
+		}
+	}
+	// Work stealing at the phase boundary: a drained worker takes whole
+	// tiles from the back of the most backlogged range (the front is where
+	// its owner is working).
+	for {
+		t := s.stealTile(epoch, k, w)
+		if t < 0 {
+			return
+		}
+		if s.claimTile(t, epoch) {
+			phase(w, t)
+		}
+	}
+}
+
+// claimTile attempts to claim tile t for the current phase.
+func (s *Sampler) claimTile(t int, epoch uint32) bool {
+	old := atomic.LoadUint32(&s.claims[t])
+	return old != epoch && atomic.CompareAndSwapUint32(&s.claims[t], old, epoch)
+}
+
+// stealTile picks a steal candidate: the last unclaimed tile of the range
+// holding the most unclaimed tiles, or -1 when the phase has none left.
+// Losing the ensuing claim race just means another scan.
+func (s *Sampler) stealTile(epoch uint32, k, self int) int {
+	nt := s.numTiles
+	best, bestCount := -1, 0
+	for r := 0; r < k; r++ {
+		if r == self {
+			continue
+		}
+		count, last := 0, -1
+		for t := r * nt / k; t < (r+1)*nt/k; t++ {
+			if atomic.LoadUint32(&s.claims[t]) != epoch {
+				count++
+				last = t
 			}
 		}
-		s.loss[w] = sum
+		if count > bestCount {
+			bestCount, best = count, last
+		}
 	}
+	return best
 }
 
 // leaveContinuous invalidates the scheduler view (a round-mode call is
@@ -181,75 +281,35 @@ func (s *Sampler) tileCap(t int) int {
 // lanes under admission control. It returns the number of new uniques.
 func (s *Sampler) sweep(target int) int {
 	batch := s.cfg.BatchSize
-	n := s.prob.eng.numInputs
-	words := (batch + 63) / 64
 
-	// Incremental harden: only lanes whose hardened signs may have flipped
-	// (flagged by the GD update, a restart, or a compaction move) repack
-	// into the columns; their words become dirty.
-	for w := range s.dirty {
-		s.dirty[w] = 0
-	}
-	for r := 0; r < batch; r++ {
-		if !s.changed[r] {
-			continue
-		}
-		s.changed[r] = false
-		row := s.vmat.Row(r)
-		w, b := r>>6, uint(r)&63
-		bit := uint64(1) << b
-		for i := 0; i < n; i++ {
-			if row[i] > 0 {
-				s.cols[i][w] |= bit
-			} else {
-				s.cols[i][w] &^= bit
-			}
-		}
-		s.dirty[w] |= bit
-	}
-
-	// Masked verify: clean words keep their cached masks (validity — and,
-	// under projection, the projected signature — is a pure function of the
-	// packed bits).
-	if s.projPlan != nil {
-		s.veval.VerifyMaskedProject(s.cols, words, s.dirty, s.valid, s.projPlan, s.projCols)
-	} else {
-		s.veval.VerifyMasked(s.cols, words, s.dirty, s.valid)
-	}
+	// Phase A (parallel): per-tile harden + masked wide verify + retire
+	// scan + age + compaction, each tile touching only its own words.
+	s.runTiles(s.sweepPh)
 	s.stats.Sweeps++
 
-	// Retire: satisfied rows harvest into the pool and recycle; unsatisfied
-	// rows age, and rows at the restart cap recycle without harvesting.
-	gained, retired := 0, 0
-	maxAge := int32(s.cfg.MaxAge)
+	// Phase B (sequential): merge retired rows into the shared dedup pool
+	// in tile order, then row order — exactly the order the one-worker
+	// sweep visits them, so the solution stream is independent of how
+	// phase A's tiles were scheduled. recordRow reads only the packed
+	// columns, which compaction and refill never touch within a tick, so
+	// deferring the merge past compaction is exact.
+	gained, sat, stalled := 0, 0, 0
 	for t := 0; t < s.numTiles; t++ {
 		base := t * s.stile
-		end := base + int(s.active[t])
-		nret := 0
-		for r := base; r < end; r++ {
-			if s.valid[r>>6]>>(uint(r)&63)&1 == 1 {
-				if s.recordRow(r) {
-					gained++
-				}
-				s.stats.Retired++
-				s.retiredFl[r] = true
-				nret++
-				continue
-			}
-			s.ages[r]++
-			if s.ages[r] >= maxAge {
-				s.stats.Stalled++
-				s.retiredFl[r] = true
-				nret++
+		for j := 0; j < int(s.retCnt[t]); j++ {
+			if s.recordRow(int(s.retLanes[base+j])) {
+				gained++
 			}
 		}
-		if nret > 0 {
-			s.compactTile(t, base, end)
-		}
-		retired += nret
+		sat += int(s.retCnt[t])
+		stalled += int(s.stallCnt[t])
 	}
+	retired := sat + stalled
+	s.stats.Retired += sat
+	s.stats.Stalled += stalled
 	s.stats.Candidates += retired
 	s.stats.Unique = len(s.sols)
+	s.activeRows -= retired
 
 	// Saturation guard: count retired-row gain, not rounds.
 	if gained > 0 {
@@ -263,6 +323,79 @@ func (s *Sampler) sweep(target int) int {
 
 	s.refill(target)
 	return gained
+}
+
+// sweepTile is phase A's per-tile body: incremental harden of the tile's
+// changed lanes, masked wide verify of the tile's dirty words with this
+// worker's Eval scratch, the retire scan (satisfied lanes queue in the
+// tile's region of retLanes for the sequential merge), aging, and
+// compaction.
+func (s *Sampler) sweepTile(w, t int) {
+	base := t * s.stile
+	w0 := base >> 6
+	w1 := (base + s.tileCap(t) + 63) >> 6
+	n := s.prob.eng.numInputs
+
+	// Incremental harden: only lanes whose hardened signs may have flipped
+	// (flagged by the GD update, a restart, or a compaction move) repack
+	// into the columns; their words become dirty. Iterates change-bitmap
+	// words, so the cost tracks dirty lanes, not batch size.
+	for wi := w0; wi < w1; wi++ {
+		m := s.chg[wi]
+		s.dirty[wi] = m
+		if m == 0 {
+			continue
+		}
+		s.chg[wi] = 0
+		wb := wi << 6
+		for ; m != 0; m &= m - 1 {
+			r := wb + bits.TrailingZeros64(m)
+			row := s.vmat.Row(r)
+			bit := uint64(1) << (uint(r) & 63)
+			for i := 0; i < n; i++ {
+				if row[i] > 0 {
+					s.cols[i][wi] |= bit
+				} else {
+					s.cols[i][wi] &^= bit
+				}
+			}
+		}
+	}
+
+	// Masked verify: clean words keep their cached masks (validity — and,
+	// under projection, the projected signature — is a pure function of the
+	// packed bits).
+	ev := s.vevals[w]
+	if s.projPlan != nil {
+		ev.VerifyMaskedProjectRange(s.cols, w0, w1, s.dirty, s.valid, s.projPlan, s.projCols)
+	} else {
+		ev.VerifyMaskedRange(s.cols, w0, w1, s.dirty, s.valid)
+	}
+
+	// Retire scan: satisfied rows queue for the merge and recycle;
+	// unsatisfied rows age, and rows at the restart cap recycle without
+	// harvesting.
+	end := base + int(s.active[t])
+	maxAge := int32(s.cfg.MaxAge)
+	nsat, nstall := 0, 0
+	for r := base; r < end; r++ {
+		if s.valid[r>>6]>>(uint(r)&63)&1 == 1 {
+			s.retLanes[base+nsat] = int32(r)
+			nsat++
+			s.retiredFl[r] = true
+			continue
+		}
+		s.ages[r]++
+		if s.ages[r] >= maxAge {
+			s.retiredFl[r] = true
+			nstall++
+		}
+	}
+	s.retCnt[t] = int32(nsat)
+	s.stallCnt[t] = int32(nstall)
+	if nsat+nstall > 0 {
+		s.compactTile(t, base, end)
+	}
 }
 
 // compactTile packs the tile's surviving rows to the head so the fused
@@ -282,7 +415,7 @@ func (s *Sampler) compactTile(t, base, end int) {
 				copy(s.mmat.Row(live), s.mmat.Row(r))
 			}
 			s.ages[live] = s.ages[r]
-			s.changed[live] = true
+			s.chg[live>>6] |= 1 << (uint(live) & 63)
 		}
 		live++
 	}
@@ -313,15 +446,38 @@ func (s *Sampler) refill(target int) {
 			}
 		}
 	}
-	total := s.ActiveRows()
-	for t := 0; t < s.numTiles && total < want; t++ {
-		base := t * s.stile
-		cap := s.tileCap(t)
-		for int(s.active[t]) < cap && total < want {
-			s.restartRow(base + int(s.active[t]))
-			s.active[t]++
-			total++
+	// Quotas are computed by the same sequential tile walk the one-worker
+	// refill performs, so which slots restart — and therefore each slot's
+	// restart-counter stream — is identical at any worker count. The
+	// restarts themselves (phase C) are slot-pure noise draws, so they can
+	// run tiles in parallel in any order.
+	total := s.activeRows
+	refills := 0
+	for t := 0; t < s.numTiles; t++ {
+		q := 0
+		if total < want {
+			q = s.tileCap(t) - int(s.active[t])
+			if q > want-total {
+				q = want - total
+			}
+			total += q
 		}
+		s.refillQ[t] = int32(q)
+		refills += q
+	}
+	s.activeRows = total
+	if refills > 0 {
+		s.runTiles(s.refillPh)
+	}
+}
+
+// refillTile is phase C's per-tile body: restart refillQ[t] retired lanes
+// at the tile's tail.
+func (s *Sampler) refillTile(_, t int) {
+	base := t * s.stile
+	for j := int32(0); j < s.refillQ[t]; j++ {
+		s.restartRow(base + int(s.active[t]))
+		s.active[t]++
 	}
 }
 
@@ -347,19 +503,37 @@ func (s *Sampler) restartRow(r int) {
 		}
 	}
 	s.ages[r] = 0
-	s.changed[r] = true
+	s.chg[r>>6] |= 1 << (uint(r) & 63)
 }
 
-// stepActive runs one fused GD iteration over each tile's active rows.
+// stepActive runs one fused GD iteration over each tile's active rows
+// (phase D). Loss accumulates per tile and reduces in tile order, so
+// FinalLoss is bit-identical at any worker count despite float addition
+// being non-associative.
 func (s *Sampler) stepActive() {
-	for w := range s.loss {
-		s.loss[w] = 0
-	}
-	s.cfg.Device.RunIndexed(s.numTiles, s.contStepFn)
+	s.runTiles(s.stepPh)
 	total := 0.0
-	for _, l := range s.loss {
+	for _, l := range s.tileLoss {
 		total += l
 	}
-	s.stats.FinalLoss = total + s.prob.eng.constLoss*float64(s.ActiveRows())
+	s.stats.FinalLoss = total + s.prob.eng.constLoss*float64(s.activeRows)
 	s.stats.Iterations++
+}
+
+// stepActiveTile is phase D's per-tile body: the fused GD pipeline over
+// the tile's active rows, re-chunked into cache tiles.
+func (s *Sampler) stepActiveTile(w, t int) {
+	sc := &s.scratch[w]
+	base := t * s.stile
+	n := int(s.active[t])
+	tile := s.prob.tile
+	sum := 0.0
+	for lo := 0; lo < n; lo += tile {
+		nt := tile
+		if lo+nt > n {
+			nt = n - lo
+		}
+		sum += s.stepTile(sc, base+lo, nt)
+	}
+	s.tileLoss[t] = sum
 }

@@ -42,6 +42,75 @@ func TestContinuousDeterministicAcrossDevices(t *testing.T) {
 	}
 }
 
+// TestContinuousDeterministicAcrossWorkerCounts is the parallel tick's
+// core invariant: the solution stream and scheduler stats for a given seed
+// are bit-identical at every worker count — tile ownership, the
+// deterministic tile-ordered retire merge, and the in-order per-tile loss
+// reduction together erase any trace of scheduling from the output.
+func TestContinuousDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := mustFormula(t, "p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n")
+	run := func(dev tensor.Device) ([]string, Stats) {
+		s := newSampler(t, f, Config{BatchSize: 256, Seed: 19, MaxAge: 3, Device: dev})
+		st := s.SampleUntil(600, 10*time.Second)
+		var sig []string
+		for _, sol := range s.Solutions() {
+			sig = append(sig, fmtBits(sol))
+		}
+		return sig, st
+	}
+	ref, refStats := run(tensor.ParallelN(1))
+	if len(ref) < 600 {
+		t.Fatalf("reference found only %d solutions, want >= 600", len(ref))
+	}
+	for _, w := range []int{2, 7, 16} {
+		got, gotStats := run(tensor.ParallelN(w))
+		if len(got) != len(ref) {
+			t.Fatalf("%d workers found %d solutions, 1 worker found %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%d workers: stream diverged at %d: %s vs %s", w, i, got[i], ref[i])
+			}
+		}
+		if gotStats.Retired != refStats.Retired || gotStats.Stalled != refStats.Stalled ||
+			gotStats.Candidates != refStats.Candidates || gotStats.FinalLoss != refStats.FinalLoss {
+			t.Errorf("%d workers: stats diverged: %+v vs %+v", w, gotStats, refStats)
+		}
+	}
+}
+
+// TestProjectedDeterministicAcrossWorkerCounts: the projected sweep path
+// (VerifyMaskedProjectRange per tile) must honor the same worker-count
+// invariance, including projected signatures and their full-model
+// witnesses.
+func TestProjectedDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := mustFormula(t, projFormula)
+	run := func(dev tensor.Device) []string {
+		s := newSampler(t, f, Config{BatchSize: 128, Seed: 23, Device: dev})
+		s.SampleUntil(16, 10*time.Second)
+		var sig []string
+		for i := 0; i < s.UniqueCount(); i++ {
+			sig = append(sig, fmtBits(s.ProjectedSolutionAt(i))+"|"+fmtBits(s.FullAssignmentAt(i)))
+		}
+		return sig
+	}
+	ref := run(tensor.ParallelN(1))
+	if len(ref) != 16 {
+		t.Fatalf("reference found %d projected-distinct solutions, want 16", len(ref))
+	}
+	for _, w := range []int{2, 7, 16} {
+		got := run(tensor.ParallelN(w))
+		if len(got) != len(ref) {
+			t.Fatalf("%d workers found %d projected solutions, 1 worker found %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%d workers: projected stream diverged at %d", w, i)
+			}
+		}
+	}
+}
+
 // TestContinuousRestartDeterminism: two samplers with the same seed must
 // produce identical solution sequences tick by tick — in-place restarts
 // draw from per-slot counters, not shared mutable state.
@@ -180,6 +249,26 @@ func TestContinuousStepSteadyStateZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(50, func() { s.ContinuousStep(0) })
 	if allocs != 0 {
 		t.Errorf("steady-state ContinuousStep allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestContinuousStepSteadyStateZeroAllocsParallel: the parallel tick must
+// match the sequential alloc discipline — the worker pool dispatches over
+// prebuilt channels, the per-tile sweeps reuse per-worker Eval scratch, and
+// the merge/refill phases touch only preallocated buffers. AllocsPerRun
+// pins GOMAXPROCS to 1 during measurement; the pooled goroutines multiplex
+// on the single P, so the dispatch path is still the one being measured.
+func TestContinuousStepSteadyStateZeroAllocsParallel(t *testing.T) {
+	// 3-solution space saturates the dedup pool immediately; batch 256
+	// spans 4 word-aligned tiles so all 4 workers own real work.
+	f := mustFormula(t, "p cnf 3 4\n-3 1 2 0\n3 -1 0\n3 -2 0\n3 0\n")
+	s := newSampler(t, f, Config{BatchSize: 256, Seed: 4, Device: tensor.ParallelN(4)})
+	for i := 0; i < 20; i++ {
+		s.ContinuousStep(0)
+	}
+	allocs := testing.AllocsPerRun(50, func() { s.ContinuousStep(0) })
+	if allocs != 0 {
+		t.Errorf("steady-state parallel ContinuousStep allocates %.1f times per call, want 0", allocs)
 	}
 }
 

@@ -194,12 +194,8 @@ func (s *Sampler) Snapshot() *Snapshot {
 		if s.projPlan != nil {
 			sn.projCols = append([]uint64(nil), s.projbuf...)
 		}
-		sn.changed = make([]uint64, (sn.batch+63)/64)
-		for r, c := range s.changed {
-			if c {
-				sn.changed[r>>6] |= 1 << (uint(r) & 63)
-			}
-		}
+		// The live change bitmap is already in the codec's packed layout.
+		sn.changed = append([]uint64(nil), s.chg...)
 	}
 	sn.nsols = len(s.sols)
 	rowBytes := (n + 7) / 8
@@ -457,8 +453,10 @@ func (s *Sampler) restoreScheduler(sn *Snapshot) error {
 	if s.projPlan != nil {
 		copy(s.projbuf, sn.projCols)
 	}
-	for r := range s.changed {
-		s.changed[r] = sn.changed[r>>6]>>(uint(r)&63)&1 == 1
+	copy(s.chg, sn.changed)
+	s.activeRows = 0
+	for _, a := range s.active {
+		s.activeRows += int(a)
 	}
 	s.staleRet = sn.staleRet
 	s.exhausted = sn.exhausted

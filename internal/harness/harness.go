@@ -410,6 +410,104 @@ func RunSched(ctx context.Context, instances []*benchgen.Instance, repeats int, 
 	return rows
 }
 
+// ScaleArm is one worker-count measurement within a ScaleRow.
+type ScaleArm struct {
+	Workers int
+	SolS    float64 // unique sol/s at this worker count (best of repeats)
+	Unique  int
+	Iters   int     // GD iterations the best run spent
+	Speedup float64 // SolS over the first (reference) arm's SolS
+}
+
+// ScaleRow is the multi-core scaling curve for one instance: identical
+// fixed-batch sessions over one compiled problem, one arm per worker
+// count. Identical reports whether every arm that reached the target
+// produced the same unique-solution count — the observable face of the
+// scheduler's bit-identical-stream invariant.
+type ScaleRow struct {
+	Instance  string
+	Batch     int
+	Arms      []ScaleArm
+	Identical bool
+}
+
+// RunScale measures the parallel tick's scaling on the given instances
+// (the multi-core PR's headline curve, and the -checkscale gate's data
+// source). The batch is fixed across arms — adapting it to a memory
+// budget would grow per-worker scratch with the worker count and
+// confound the curve — and each repeat drives every arm with the same
+// seed so their streams are directly comparable.
+func RunScale(ctx context.Context, instances []*benchgen.Instance, workers []int, repeats int, opt RunOptions) []ScaleRow {
+	opt = opt.withDefaults()
+	if len(workers) == 0 {
+		workers = []int{1, 4, 16}
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	const scaleBatch = 4096
+	var rows []ScaleRow
+	for _, in := range instances {
+		if ctx.Err() != nil {
+			break
+		}
+		p, err := opt.Compiler.Compile(in.Formula)
+		if err != nil {
+			continue
+		}
+		row := ScaleRow{Instance: in.Name, Batch: scaleBatch, Identical: true}
+		row.Arms = make([]ScaleArm, len(workers))
+		for i, w := range workers {
+			row.Arms[i].Workers = w
+		}
+		for rep := 0; rep < repeats; rep++ {
+			seed := opt.Seed + int64(rep)
+			uniq := make([]int, len(workers))
+			allHit := true
+			for i, w := range workers {
+				if ctx.Err() != nil {
+					break
+				}
+				cfg := opt.sessionConfig()
+				cfg.BatchSize = scaleBatch
+				cfg.Device = tensor.ParallelN(w)
+				cfg.Seed = seed
+				s, serr := p.NewSession(cfg)
+				if serr != nil {
+					allHit = false
+					continue
+				}
+				st := sampleOnce(ctx, s, opt.Target, opt.Timeout)
+				uniq[i] = st.Unique
+				if st.Unique < opt.Target {
+					allHit = false
+				}
+				if tp := st.Throughput(); tp > row.Arms[i].SolS {
+					row.Arms[i].SolS = tp
+					row.Arms[i].Unique = st.Unique
+					row.Arms[i].Iters = s.Core().Stats().Iterations
+				}
+			}
+			// Unique counts are only comparable when every arm sampled the
+			// same deterministic prefix, i.e. all of them reached the target.
+			if allHit {
+				for i := 1; i < len(uniq); i++ {
+					if uniq[i] != uniq[0] {
+						row.Identical = false
+					}
+				}
+			}
+		}
+		if ref := row.Arms[0].SolS; ref > 0 {
+			for i := range row.Arms {
+				row.Arms[i].Speedup = row.Arms[i].SolS / ref
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
 // InstanceSummary describes an instance the way Table II's left columns do.
 func InstanceSummary(in *benchgen.Instance) string {
 	pi, po, vars, clauses := in.Stats()

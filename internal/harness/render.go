@@ -139,6 +139,31 @@ func RenderSched(w io.Writer, rows []SchedRow) {
 	}
 }
 
+// RenderScale writes the multi-core scaling curve as an aligned text
+// table, one column group per worker count.
+func RenderScale(w io.Writer, rows []ScaleRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-22s %6s", "Instance", "Batch")
+	for _, a := range rows[0].Arms {
+		fmt.Fprintf(w, " | %2dw %11s %7s", a.Workers, "(sol/s)", "speedup")
+	}
+	fmt.Fprintf(w, " | %s\n", "Streams")
+	fmt.Fprintln(w, strings.Repeat("-", 30+27*len(rows[0].Arms)+10))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %6d", r.Instance, r.Batch)
+		for _, a := range r.Arms {
+			fmt.Fprintf(w, " | %15s %6.2fx", humanRate(a.SolS), a.Speedup)
+		}
+		ident := "identical"
+		if !r.Identical {
+			ident = "DIVERGED"
+		}
+		fmt.Fprintf(w, " | %s\n", ident)
+	}
+}
+
 func humanRate(v float64) string {
 	switch {
 	case v <= 0:

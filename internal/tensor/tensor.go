@@ -16,10 +16,14 @@ import (
 	"sync"
 )
 
-// Device executes batch-striped work.
+// Device executes batch-striped work. Multi-worker devices carry a lazily
+// started persistent worker pool so steady-state dispatch costs two channel
+// operations per helper and zero heap allocations (a per-call goroutine +
+// WaitGroup would allocate on every tick).
 type Device struct {
 	workers int
 	name    string
+	pool    *workerPool
 }
 
 // Sequential returns the single-worker device (the "CPU" arm of the
@@ -28,14 +32,84 @@ func Sequential() Device { return Device{workers: 1, name: "sequential"} }
 
 // Parallel returns a device with one worker per available CPU (the
 // data-parallel "GPU stand-in" arm).
-func Parallel() Device { return Device{workers: runtime.GOMAXPROCS(0), name: "parallel"} }
+func Parallel() Device {
+	d := ParallelN(runtime.GOMAXPROCS(0))
+	d.name = "parallel"
+	return d
+}
 
 // ParallelN returns a device with exactly n workers (n >= 1).
 func ParallelN(n int) Device {
 	if n < 1 {
 		n = 1
 	}
-	return Device{workers: n, name: fmt.Sprintf("parallel-%d", n)}
+	return Device{workers: n, name: fmt.Sprintf("parallel-%d", n), pool: newWorkerPool(n)}
+}
+
+// workerPool parks workers-1 helper goroutines on per-helper job channels.
+// The goroutines spawn on first dispatch (a device that never runs parallel
+// work costs nothing) and exit when the pool becomes unreachable: the
+// finalizer closes the job channels, so pools cannot leak goroutines past
+// their device's lifetime. Dispatch holds mu; a concurrent dispatch on the
+// same device (e.g. two sessions sharing one Device value) falls back to
+// per-call goroutines rather than serializing behind the lock.
+type workerPool struct {
+	mu      sync.Mutex
+	helpers int
+	jobs    []chan poolJob
+	done    chan struct{}
+}
+
+// poolJob is the unit of work sent to a parked helper: either a stripe of a
+// RunIndexed call (ranged) or one worker slot of a RunWorkers call (solo).
+// Sent by value — dispatch allocates nothing.
+type poolJob struct {
+	ranged         func(worker, lo, hi int)
+	solo           func(worker int)
+	worker, lo, hi int
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &workerPool{helpers: workers - 1}
+	runtime.SetFinalizer(p, (*workerPool).shutdown)
+	return p
+}
+
+func (p *workerPool) shutdown() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	p.jobs = nil
+}
+
+// start spawns the parked helpers. Caller holds mu.
+func (p *workerPool) start() {
+	if p.jobs != nil {
+		return
+	}
+	p.jobs = make([]chan poolJob, p.helpers)
+	p.done = make(chan struct{}, p.helpers)
+	for i := range p.jobs {
+		ch := make(chan poolJob)
+		p.jobs[i] = ch
+		go poolHelper(ch, p.done)
+	}
+}
+
+func poolHelper(jobs <-chan poolJob, done chan<- struct{}) {
+	for j := range jobs {
+		if j.ranged != nil {
+			j.ranged(j.worker, j.lo, j.hi)
+		} else {
+			j.solo(j.worker)
+		}
+		done <- struct{}{}
+	}
 }
 
 // Workers returns the worker count.
@@ -71,8 +145,29 @@ func (d Device) RunIndexed(n int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	if p := d.pool; p != nil && p.mu.TryLock() {
+		p.start()
+		sent := 0
+		for lo := chunk; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			p.jobs[sent] <- poolJob{ranged: fn, worker: sent + 1, lo: lo, hi: hi}
+			sent++
+		}
+		fn(0, 0, chunk) // the caller works stripe 0 alongside the helpers
+		for i := 0; i < sent; i++ {
+			<-p.done
+		}
+		p.mu.Unlock()
+		return
+	}
+	// Concurrent dispatch on a shared device (or a zero-value multi-worker
+	// Device): per-call goroutines keep independent sessions overlapping
+	// instead of serializing behind the pool lock.
+	var wg sync.WaitGroup
 	worker := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -86,6 +181,46 @@ func (d Device) RunIndexed(n int, fn func(worker, lo, hi int)) {
 		}(worker, lo, hi)
 		worker++
 	}
+	wg.Wait()
+}
+
+// RunWorkers invokes fn(worker) exactly once for each worker index in
+// [0, k), concurrently across the device's workers (k above Workers() is
+// clamped). Unlike RunIndexed it never merges slots: callers that own work
+// partitions keyed by worker index (e.g. the scheduler's tile ranges) get
+// one invocation per slot even when each slot's work is small. Worker 0
+// runs on the calling goroutine.
+func (d Device) RunWorkers(k int, fn func(worker int)) {
+	if w := d.Workers(); k > w {
+		k = w
+	}
+	if k <= 1 {
+		if k == 1 {
+			fn(0)
+		}
+		return
+	}
+	if p := d.pool; p != nil && p.mu.TryLock() {
+		p.start()
+		for i := 1; i < k; i++ {
+			p.jobs[i-1] <- poolJob{solo: fn, worker: i}
+		}
+		fn(0)
+		for i := 1; i < k; i++ {
+			<-p.done
+		}
+		p.mu.Unlock()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	fn(0)
 	wg.Wait()
 }
 
