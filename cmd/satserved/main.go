@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	satserved [-addr :8080] [-workers 4] [-queue 64] [-cache 64]
-//	          [-cachebudget 256] [-membudget 512] [-sessionmem 64]
-//	          [-maxtarget 100000] [-maxtimeout 2m] [-maxcnf 8388608]
-//	          [-draingrace 5s] [-spool dir] [-spoolbudget 32]
-//	          [-logjson] [-portfile path]
+//	satserved [-addr :8080] [-workers 4] [-queue 64] [-tenantqueue 0]
+//	          [-cache 64] [-cachebudget 256] [-membudget 512]
+//	          [-sessionmem 64] [-maxtarget 100000] [-maxtimeout 2m]
+//	          [-maxcnf 8388608] [-draingrace 5s] [-spool dir]
+//	          [-spoolbudget 32] [-peers a,b] [-peerprobe 1s]
+//	          [-preempt 0] [-faultplan plan] [-logjson] [-portfile path]
 //
 // Endpoints:
 //
@@ -17,6 +18,8 @@
 //	POST /v1/sample?key=HEX&...                              cached problem
 //	POST /v1/sample?project=1,4,7&...                        projected sampling
 //	POST /v1/sample?resume=TOKEN&...                         re-attach a drained stream
+//	POST /v1/adopt                                           peer checkpoint handoff
+//	POST /v1/handoff                                         park streams onto peers now
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -31,6 +34,17 @@
 // a one-shot resume token; with -spool set the parked checkpoints survive
 // the restart on disk, and POST /v1/sample?resume=<token> continues the
 // stream exactly where the drain cut it — zero solutions lost.
+//
+// With -peers set, a drain (or an explicit POST /v1/handoff) pushes each
+// parked checkpoint to a healthy peer over POST /v1/adopt instead of the
+// local spool: the done line's resume_addr points the client straight at
+// the adopting replica, so the stream continues with zero loss even when
+// this process never comes back. -preempt enables SFQ preemption: when
+// another tenant's waiter starves past the threshold, the active stream
+// with the most virtual-finish overshoot is checkpointed off its slot at
+// a tick boundary and re-admitted behind a fresh fair-queue tag.
+// -faultplan arms the chaos tier (see internal/faultinject) — test
+// builds only.
 package main
 
 import (
@@ -44,10 +58,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/faultinject"
 	"repro/internal/sampling"
 	"repro/internal/server"
 	"repro/internal/tensor"
@@ -60,6 +76,17 @@ func spoolBytes(mib int64) int64 {
 		return mib
 	}
 	return mib << 20
+}
+
+// splitPeers parses the -peers comma list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -84,12 +111,26 @@ func run() error {
 		drainGrace  = flag.Duration("draingrace", 5*time.Second, "how long in-flight streams may run after SIGTERM")
 		spoolDir    = flag.String("spool", "", "directory for drained-stream checkpoints (empty = in-memory spool only; tokens die with the process)")
 		spoolBudget = flag.Int64("spoolbudget", 32, "checkpoint spool byte budget (MiB; 0 = default, <0 disables resume)")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs for live checkpoint handoff (empty = no fleet)")
+		peerProbe   = flag.Duration("peerprobe", time.Second, "peer health probe interval")
+		preempt     = flag.Duration("preempt", 0, "SFQ preemption threshold: checkpoint the most-overserved stream when a waiter starves this long (0 = off)")
+		tenantQueue = flag.Int("tenantqueue", 0, "per-tenant queued-waiter cap (0 = unbounded within -queue)")
+		faultPlan   = flag.String("faultplan", "", "fault-injection plan, e.g. seed=1;killpeer@sol=40;rejectadopt=2 (chaos testing only)")
 		devWorkers  = flag.Int("devworkers", 0, "GD device workers (0 = all CPUs, 1 = sequential)")
 		seed        = flag.Int64("seed", 1, "base seed for per-request sessions")
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON")
 		portFile    = flag.String("portfile", "", "write the bound address to this file once listening")
 	)
 	flag.Parse()
+
+	var injector *faultinject.Injector
+	if *faultPlan != "" {
+		plan, err := faultinject.ParsePlan(*faultPlan)
+		if err != nil {
+			return err
+		}
+		injector = faultinject.New(plan)
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -105,21 +146,27 @@ func run() error {
 	}
 
 	srv := server.New(server.Config{
-		Compiler:      sampling.NewCompilerBudget(*cacheCap, *cacheBudget<<20),
-		Device:        dev,
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		MemoryBudget:  *memBudget << 20,
-		SessionMemory: *sessionMem << 20,
-		MaxTarget:     *maxTarget,
-		MaxTimeout:    *maxTimeout,
-		Limits:        cnf.LimitsForBytes(*maxCNF),
-		DrainGrace:    *drainGrace,
-		SpoolDir:      *spoolDir,
-		SpoolBudget:   spoolBytes(*spoolBudget),
-		Seed:          *seed,
-		Log:           log,
+		Compiler:         sampling.NewCompilerBudget(*cacheCap, *cacheBudget<<20),
+		Device:           dev,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		MemoryBudget:     *memBudget << 20,
+		SessionMemory:    *sessionMem << 20,
+		MaxTarget:        *maxTarget,
+		MaxTimeout:       *maxTimeout,
+		Limits:           cnf.LimitsForBytes(*maxCNF),
+		DrainGrace:       *drainGrace,
+		SpoolDir:         *spoolDir,
+		SpoolBudget:      spoolBytes(*spoolBudget),
+		Peers:            splitPeers(*peers),
+		PeerProbe:        *peerProbe,
+		PreemptThreshold: *preempt,
+		TenantQueueDepth: *tenantQueue,
+		Injector:         injector,
+		Seed:             *seed,
+		Log:              log,
 	})
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -23,8 +23,10 @@ import (
 // chaosLine adds the resume token to the shared stream-line shape.
 type chaosLine struct {
 	line
-	Resumed bool   `json:"resumed"`
-	Resume  string `json:"resume"`
+	Resumed     bool   `json:"resumed"`
+	Resume      string `json:"resume"`
+	ResumeAddr  string `json:"resume_addr"`
+	Preemptions int    `json:"preemptions"`
 }
 
 // servedProc is one running satserved process.

@@ -46,6 +46,14 @@ type Plan struct {
 	// CancelAtSol > 0 arms a soft interruption (context cancel / clean
 	// Stop) when the Nth solution is delivered.
 	CancelAtSol int64
+	// KillPeerAtSol > 0 arms a peer death: when the Nth solution is
+	// delivered, the harness hard-kills (SIGKILL) the replica it is
+	// streaming from — the fleet-failover arm.
+	KillPeerAtSol int64
+	// RejectAdopts > 0 makes a server refuse its first N /v1/adopt
+	// requests — the adoption-rejection arm, proving senders fall back to
+	// the next peer or their local spool.
+	RejectAdopts int64
 	// Corrupt arms deterministic damage to resume tokens in transit.
 	Corrupt bool
 	// Slow inserts this delay at every delivered solution — the slow-sink
@@ -87,6 +95,18 @@ func ParsePlan(s string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faultinject: bad cancel point %q (want cancel@sol=N, N > 0)", field)
 			}
 			p.CancelAtSol = n
+		case "killpeer@sol":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || !hasVal || n <= 0 {
+				return Plan{}, fmt.Errorf("faultinject: bad peer-kill point %q (want killpeer@sol=N, N > 0)", field)
+			}
+			p.KillPeerAtSol = n
+		case "rejectadopt":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || !hasVal || n <= 0 {
+				return Plan{}, fmt.Errorf("faultinject: bad adoption rejection %q (want rejectadopt=N, N > 0)", field)
+			}
+			p.RejectAdopts = n
 		case "corrupt":
 			if hasVal {
 				return Plan{}, fmt.Errorf("faultinject: corrupt takes no value (got %q)", field)
@@ -121,6 +141,12 @@ func (p Plan) String() string {
 	if p.CancelAtSol > 0 {
 		parts = append(parts, fmt.Sprintf("cancel@sol=%d", p.CancelAtSol))
 	}
+	if p.KillPeerAtSol > 0 {
+		parts = append(parts, fmt.Sprintf("killpeer@sol=%d", p.KillPeerAtSol))
+	}
+	if p.RejectAdopts > 0 {
+		parts = append(parts, fmt.Sprintf("rejectadopt=%d", p.RejectAdopts))
+	}
 	if p.Corrupt {
 		parts = append(parts, "corrupt")
 	}
@@ -132,17 +158,19 @@ func (p Plan) String() string {
 
 // Armed reports whether the plan injects anything at all.
 func (p Plan) Armed() bool {
-	return p.KillAtTick > 0 || p.CancelAtSol > 0 || p.Corrupt || p.Slow > 0
+	return p.KillAtTick > 0 || p.CancelAtSol > 0 || p.KillPeerAtSol > 0 ||
+		p.RejectAdopts > 0 || p.Corrupt || p.Slow > 0
 }
 
 // Injector counts a workload's progress events and fires the plan's faults
 // at their exact points. All methods are safe for concurrent use; each
 // fault fires exactly once.
 type Injector struct {
-	plan  Plan
-	ticks atomic.Int64
-	sols  atomic.Int64
-	fired [2]atomic.Bool // kill, cancel
+	plan   Plan
+	ticks  atomic.Int64
+	sols   atomic.Int64
+	adopts atomic.Int64
+	fired  [3]atomic.Bool // kill, cancel, peer death
 }
 
 // New returns an injector for the plan.
@@ -157,18 +185,45 @@ func (in *Injector) Plan() Plan { return in.plan }
 // applied here for solution events, so a single Advance call per delivery
 // gives a harness the whole fault tier.
 func (in *Injector) Advance(pt Point) bool {
+	if in == nil {
+		return false
+	}
 	switch pt {
 	case PointTick:
 		n := in.ticks.Add(1)
 		return in.plan.KillAtTick > 0 && n == in.plan.KillAtTick && in.fired[0].CompareAndSwap(false, true)
 	case PointSol:
-		if in.plan.Slow > 0 {
-			time.Sleep(in.plan.Slow)
-		}
-		n := in.sols.Add(1)
-		return in.plan.CancelAtSol > 0 && n == in.plan.CancelAtSol && in.fired[1].CompareAndSwap(false, true)
+		cancel, _ := in.AdvanceSol()
+		return cancel
 	}
 	return false
+}
+
+// AdvanceSol reports one delivered solution and returns which solution
+// faults fire at it: cancel (the plan's soft interruption) and peerDeath
+// (the plan's hard peer kill). Each fires exactly once; slow-sink delay is
+// applied here, exactly as in Advance(PointSol).
+func (in *Injector) AdvanceSol() (cancel, peerDeath bool) {
+	if in == nil {
+		return false, false
+	}
+	if in.plan.Slow > 0 {
+		time.Sleep(in.plan.Slow)
+	}
+	n := in.sols.Add(1)
+	cancel = in.plan.CancelAtSol > 0 && n == in.plan.CancelAtSol && in.fired[1].CompareAndSwap(false, true)
+	peerDeath = in.plan.KillPeerAtSol > 0 && n == in.plan.KillPeerAtSol && in.fired[2].CompareAndSwap(false, true)
+	return cancel, peerDeath
+}
+
+// RejectAdopt reports whether the next /v1/adopt request should be
+// refused: true for the plan's first RejectAdopts calls. Nil-safe (a nil
+// injector never rejects), so servers call it unconditionally.
+func (in *Injector) RejectAdopt() bool {
+	if in == nil || in.plan.RejectAdopts <= 0 {
+		return false
+	}
+	return in.adopts.Add(1) <= in.plan.RejectAdopts
 }
 
 // Ticks returns how many tick events have been reported.

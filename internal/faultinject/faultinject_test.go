@@ -19,6 +19,10 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		{"kill@tick=1", Plan{KillAtTick: 1}},
 		{"corrupt", Plan{Seed: 1, Corrupt: true}}, // corruption defaults its seed
 		{"slow=1s;seed=-3", Plan{Seed: -3, Slow: time.Second}},
+		{"killpeer@sol=12;rejectadopt=3", Plan{KillPeerAtSol: 12, RejectAdopts: 3}},
+		{"seed=5;kill@tick=9;cancel@sol=4;killpeer@sol=2;rejectadopt=1;corrupt;slow=3ms",
+			Plan{Seed: 5, KillAtTick: 9, CancelAtSol: 4, KillPeerAtSol: 2, RejectAdopts: 1,
+				Corrupt: true, Slow: 3 * time.Millisecond}},
 	}
 	for _, c := range cases {
 		got, err := ParsePlan(c.in)
@@ -40,6 +44,8 @@ func TestParsePlanRejectsGarbage(t *testing.T) {
 		"kill@tick", "kill@tick=0", "kill@tick=-5", "kill@tick=x",
 		"cancel@sol=", "seed=1.5", "slow=fast", "slow=-1s",
 		"corrupt=yes", "explode@tick=3", "seed",
+		"killpeer@sol", "killpeer@sol=0", "killpeer@sol=-2",
+		"rejectadopt", "rejectadopt=0", "rejectadopt=x",
 	} {
 		if _, err := ParsePlan(in); err == nil {
 			t.Fatalf("ParsePlan(%q) accepted garbage", in)
@@ -140,5 +146,66 @@ func TestInjectorSlowSink(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
 		t.Fatalf("3 slow deliveries took %v, want >= 15ms", elapsed)
+	}
+}
+
+// TestAdvanceSolFiresEachArmOnce: cancel@sol and killpeer@sol ride the
+// same delivery counter but fire independently, each exactly once, at
+// their own solution index.
+func TestAdvanceSolFiresEachArmOnce(t *testing.T) {
+	plan := Plan{CancelAtSol: 3, KillPeerAtSol: 5}
+	if !plan.Armed() {
+		t.Fatal("plan with sol arms reports unarmed")
+	}
+	in := New(plan)
+	var cancels, deaths []int
+	for i := 1; i <= 10; i++ {
+		cancel, death := in.AdvanceSol()
+		if cancel {
+			cancels = append(cancels, i)
+		}
+		if death {
+			deaths = append(deaths, i)
+		}
+	}
+	if len(cancels) != 1 || cancels[0] != 3 {
+		t.Fatalf("cancel fired at %v, want exactly [3]", cancels)
+	}
+	if len(deaths) != 1 || deaths[0] != 5 {
+		t.Fatalf("peer death fired at %v, want exactly [5]", deaths)
+	}
+	// Advance(PointSol) is the same counter: no refires on the old surface.
+	for i := 0; i < 5; i++ {
+		if in.Advance(PointSol) {
+			t.Fatal("spent sol arm refired through Advance")
+		}
+	}
+}
+
+// TestRejectAdoptBudget: the first N adoption offers are refused, then
+// the server adopts normally; nil injectors always admit.
+func TestRejectAdoptBudget(t *testing.T) {
+	in := New(Plan{RejectAdopts: 2})
+	got := []bool{in.RejectAdopt(), in.RejectAdopt(), in.RejectAdopt(), in.RejectAdopt()}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RejectAdopt sequence %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNilInjectorSafeEverywhere: every query surface is nil-safe — the
+// production path never branches on "is fault injection configured".
+func TestNilInjectorSafeEverywhere(t *testing.T) {
+	var in *Injector
+	if cancel, death := in.AdvanceSol(); cancel || death {
+		t.Fatal("nil injector fired a sol arm")
+	}
+	if in.RejectAdopt() {
+		t.Fatal("nil injector rejected an adoption")
+	}
+	if in.Advance(PointTick) || in.Advance(PointSol) {
+		t.Fatal("nil injector fired an advance")
 	}
 }

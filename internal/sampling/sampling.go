@@ -33,6 +33,7 @@ type Stats struct {
 	Elapsed   time.Duration // wall-clock time spent sampling (across calls)
 	Timeout   bool          // stopped by context cancellation or deadline
 	Exhausted bool          // reachable solution set exhausted before target
+	Yielded   bool          // stopped by a StreamYield request at a tick boundary
 }
 
 // Throughput returns unique solutions per second.

@@ -138,8 +138,9 @@ type Session struct {
 	core      *core.Sampler
 	name      string
 	roundMode bool
-	delivered int // solutions already handed to a sink
-	stale     int // round mode: consecutive zero-gain rounds (saturation guard)
+	delivered int             // solutions already handed to a sink
+	stale     int             // round mode: consecutive zero-gain rounds (saturation guard)
+	yield     <-chan struct{} // set per StreamYield call; checked at tick boundaries
 	stats     Stats
 }
 
@@ -179,9 +180,22 @@ func (s *Session) SolutionHits() []int { return s.core.SolutionHits() }
 // selects the legacy round-synchronous loop, which delivers at round
 // barriers instead.
 func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, err error) {
-	// Timeout/Exhausted describe how *this* call ended; a reused session
-	// must not inherit them from a previous, cancelled call.
-	s.stats.Timeout, s.stats.Exhausted = false, false
+	return s.StreamYield(ctx, target, nil, sink)
+}
+
+// StreamYield is Stream with a cooperative preemption channel: when yield
+// becomes readable (typically: closed), the stream stops cleanly at the
+// next tick boundary with Stats.Yielded set and all progress retained.
+// A yielded session is quiescent — exactly the state Checkpoint requires —
+// so a scheduler can checkpoint it, release its resources, and later
+// restore and continue the identical stream: yield → Checkpoint →
+// RestoreSession → StreamYield is bit-identical to the uninterrupted run.
+// A nil yield never fires, making this exactly Stream.
+func (s *Session) StreamYield(ctx context.Context, target int, yield <-chan struct{}, sink Sink) (st Stats, err error) {
+	// Timeout/Exhausted/Yielded describe how *this* call ended; a reused
+	// session must not inherit them from a previous, cancelled call.
+	s.stats.Timeout, s.stats.Exhausted, s.stats.Yielded = false, false, false
+	s.yield = yield
 	defer func() { st = s.finish() }()
 	// Deliver the backlog first so a reused session streams solutions a
 	// previous nil-sink call collected but never handed out.
@@ -205,6 +219,10 @@ func (s *Session) Stream(ctx context.Context, target int, sink Sink) (st Stats, 
 		}
 		if ctx.Err() != nil {
 			s.stats.Timeout = true
+			break
+		}
+		if s.yieldRequested() {
+			s.stats.Yielded = true
 			break
 		}
 		s.core.ContinuousStep(target)
@@ -236,6 +254,10 @@ func (s *Session) streamRounds(ctx context.Context, target int, sink Sink) error
 			s.stats.Timeout = true
 			break
 		}
+		if s.yieldRequested() {
+			s.stats.Yielded = true
+			break
+		}
 		gained := s.core.Round()
 		s.stats.Calls++
 		// Update the guard before flushing: a sink that stops the stream
@@ -252,6 +274,21 @@ func (s *Session) streamRounds(ctx context.Context, target int, sink Sink) error
 		}
 	}
 	return nil
+}
+
+// yieldRequested reports whether the current StreamYield call's preemption
+// channel has fired. Checked only at tick boundaries, so a yielded session
+// is always quiescent and checkpoint-exact.
+func (s *Session) yieldRequested() bool {
+	if s.yield == nil {
+		return false
+	}
+	select {
+	case <-s.yield:
+		return true
+	default:
+		return false
+	}
 }
 
 // flush streams solutions discovered since the last flush. Each delivery

@@ -1,0 +1,133 @@
+package sampling
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/tensor"
+)
+
+// TestStreamYieldPreemptionEquivalence is the session-level preemption
+// invariant: a stream interrupted by StreamYield's yield channel at
+// arbitrary tick boundaries, checkpointed, and restored — repeatedly, on a
+// different device each time — delivers exactly the solutions of the
+// uninterrupted run, in order. This is what lets the server checkpoint a
+// victim session off its worker slot and re-admit it later without the
+// client ever seeing a changed stream.
+func TestStreamYieldPreemptionEquivalence(t *testing.T) {
+	suite := benchgen.SmallSuite()
+	base, err := CompileProblem(suite[1].Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Seed: 21, BatchSize: 64, Device: tensor.Sequential()}
+	const target = 60
+
+	ref, err := base.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	if _, err := ref.Stream(context.Background(), target, collectSink(&want, target)); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < target {
+		t.Fatalf("baseline found only %d/%d solutions", len(want), target)
+	}
+
+	// Alternate devices across legs: preemption equivalence must compose
+	// with device independence (the server restores on whatever device it
+	// has, which may differ from the original grant's).
+	devices := []tensor.Device{tensor.ParallelN(3), tensor.Sequential(), tensor.ParallelN(7)}
+	sess, err := base.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	legs := 0
+	for len(got) < len(want) {
+		legs++
+		if legs > 50 {
+			t.Fatalf("no progress after %d preemption legs (%d/%d solutions)", legs, len(got), len(want))
+		}
+		yield := make(chan struct{})
+		var once sync.Once
+		legStart := len(got)
+		st, err := sess.StreamYield(context.Background(), target, yield, func(sol []bool) error {
+			got = append(got, bitString(sol))
+			if len(got) >= target {
+				return Stop
+			}
+			// Ask for a yield on every leg's first delivery: the leg still
+			// finishes flushing its retired tick (yields are tick-boundary
+			// cuts, not mid-flush cuts), so each leg advances.
+			if len(got)-legStart >= 1 {
+				once.Do(func() { close(yield) })
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("leg %d: %v", legs, err)
+		}
+		if len(got) >= target {
+			break
+		}
+		if !st.Yielded {
+			t.Fatalf("leg %d ended without yield, target, or error (stats %+v)", legs, st)
+		}
+		env, err := sess.Checkpoint()
+		if err != nil {
+			t.Fatalf("leg %d: checkpoint: %v", legs, err)
+		}
+		ck, err := DecodeCheckpoint(env)
+		if err != nil {
+			t.Fatalf("leg %d: decode: %v", legs, err)
+		}
+		if ck.Delivered() != len(got) {
+			t.Fatalf("leg %d: envelope cursor %d, want %d", legs, ck.Delivered(), len(got))
+		}
+		sess, err = base.RestoreSession(ck, devices[legs%len(devices)])
+		if err != nil {
+			t.Fatalf("leg %d: restore: %v", legs, err)
+		}
+	}
+	if legs < 3 {
+		t.Fatalf("run was preempted only %d times; the differential needs several legs", legs)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("preempted run delivered %d solutions, baseline %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("solution %d diverged after %d preemptions:\n got %s\nwant %s", i, legs, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamYieldNilChannel: a nil yield channel never yields — Stream
+// delegates to StreamYield with nil, so this is the compatibility contract
+// for every existing caller.
+func TestStreamYieldNilChannel(t *testing.T) {
+	suite := benchgen.SmallSuite()
+	base, err := CompileProblem(suite[0].Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := base.NewSession(SessionConfig{Seed: 4, BatchSize: 128, Device: tensor.Sequential()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	st, err := sess.StreamYield(context.Background(), 20, nil, collectSink(&out, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Yielded {
+		t.Fatal("nil yield channel reported Yielded")
+	}
+	if len(out) != 20 {
+		t.Fatalf("delivered %d/20", len(out))
+	}
+}

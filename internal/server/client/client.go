@@ -1,10 +1,12 @@
 // Package client is the retrying satserved consumer: it issues sampling
-// requests against a server, honors the service's backpressure signals
-// (Retry-After on 429/503, capped exponential backoff with jitter
-// elsewhere), and transparently re-attaches drained streams through their
-// resume tokens — so a caller sees one logical stream of solutions across
-// load sheds, drains, and even a server restart, or a single error once
-// the retry budget is spent.
+// requests against a server — or a fleet of replicas — honors the
+// service's backpressure signals (Retry-After on 429/503, capped
+// exponential backoff with jitter elsewhere), and transparently
+// re-attaches interrupted streams through their resume tokens, following
+// a handoff's resume_addr to whichever peer adopted the checkpoint. A
+// caller sees one logical stream of solutions across load sheds, drains,
+// preemptions, replica deaths, and server restarts, or a single clear
+// error once the retry budget (attempts and/or wall clock) is spent.
 package client
 
 import (
@@ -48,6 +50,9 @@ type Done struct {
 	Exhausted     bool    `json:"exhausted"`
 	Drained       bool    `json:"drained"`
 	Resume        string  `json:"resume"`
+	ResumeAddr    string  `json:"resume_addr"`
+	Preempted     bool    `json:"preempted"`
+	Preemptions   int     `json:"preemptions"`
 }
 
 // Result is one logical sampling request's outcome, accumulated across
@@ -58,6 +63,9 @@ type Result struct {
 	Done      Done     // the final leg's done line
 	Retries   int      // legs re-issued after a shed, error, or outage
 	Resumes   int      // legs re-attached through a resume token
+	// Preemptions accumulates how many times the stream was checkpointed
+	// off its worker slot (and transparently continued) across all legs.
+	Preemptions int
 
 	lastRetryAfter time.Duration // Retry-After floor from the last shed leg
 }
@@ -76,23 +84,45 @@ type Config struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the schedule (default 5s).
 	MaxBackoff time.Duration
+	// MaxElapsed, when non-zero, is the total wall-clock budget for one
+	// Sample call across every leg and backoff: once spent, the next retry
+	// decision returns ErrBudgetExhausted instead of trying again. It
+	// complements MaxAttempts — attempts bound legs, MaxElapsed bounds how
+	// long a dead fleet can hold a caller.
+	MaxElapsed time.Duration
 	// Sleep, when set, replaces the context-aware backoff timer (tests).
 	Sleep func(context.Context, time.Duration) error
 	// OnRetry, when set, observes every backoff decision.
 	OnRetry func(attempt int, status int, wait time.Duration, resume bool)
+	// OnSolution, when set, observes every accumulated solution with the
+	// running total — the hook chaos harnesses use to inject faults at
+	// exact delivery points.
+	OnSolution func(total int)
 }
 
-// Client issues retrying sampling requests against one satserved base URL.
+// Client issues retrying sampling requests against a satserved fleet: one
+// base URL or several replicas. Fresh legs go to the current base and
+// rotate to the next replica when that base sheds or dies; resume legs are
+// pinned to the address that holds the token — the issuing server, or the
+// peer named by the done line's resume_addr after a handoff.
 type Client struct {
-	base string
-	cfg  Config
+	bases []string
+	cfg   Config
 
 	mu  sync.Mutex
 	rng *rand.Rand
+	cur int // rotation cursor into bases for non-resume legs
 }
 
 // New builds a client for the server at base (e.g. "http://127.0.0.1:8080").
 func New(base string, cfg Config) *Client {
+	return NewFleet([]string{base}, cfg)
+}
+
+// NewFleet builds a client over a fleet of equivalent replicas. The first
+// base is preferred; the client rotates through the rest when a base sheds
+// load or stops answering.
+func NewFleet(bases []string, cfg Config) *Client {
 	if cfg.HTTP == nil {
 		cfg.HTTP = http.DefaultClient
 	}
@@ -105,11 +135,34 @@ func New(base string, cfg Config) *Client {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 5 * time.Second
 	}
-	return &Client{
-		base: strings.TrimSuffix(base, "/"),
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	cleaned := make([]string, 0, len(bases))
+	for _, b := range bases {
+		if b = strings.TrimSuffix(strings.TrimSpace(b), "/"); b != "" {
+			cleaned = append(cleaned, b)
+		}
 	}
+	if len(cleaned) == 0 {
+		cleaned = []string{""}
+	}
+	return &Client{
+		bases: cleaned,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// currentBase returns the rotation's current base for a fresh leg.
+func (c *Client) currentBase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur%len(c.bases)]
+}
+
+// rotate advances fresh legs to the next replica.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.cur++
+	c.mu.Unlock()
 }
 
 // Request parameterizes one logical sampling request.
@@ -129,9 +182,14 @@ type Request struct {
 	Resume string
 }
 
-// ErrAttemptsExhausted is returned (wrapped) when the retry budget runs
+// ErrAttemptsExhausted is returned (wrapped) when the attempt budget runs
 // out before a stream completes.
 var ErrAttemptsExhausted = errors.New("client: attempts exhausted")
+
+// ErrBudgetExhausted is returned (wrapped) when MaxElapsed wall-clock
+// budget is spent before a stream completes — the terminal signal against
+// a dead fleet. The wrapped message carries the attempt count.
+var ErrBudgetExhausted = errors.New("client: elapsed budget exhausted")
 
 // StatusError reports a terminal, non-retryable HTTP status.
 type StatusError struct {
@@ -144,33 +202,63 @@ func (e *StatusError) Error() string {
 }
 
 // Sample runs one logical sampling request to completion: it retries
-// sheds and transport failures with backoff, follows drain checkpoints
-// through their resume tokens, and returns the accumulated stream. On a
+// sheds and transport failures with backoff, rotates fresh legs across
+// the fleet when a replica sheds or dies, follows interrupted streams
+// (drains, handoffs, preemptions) through their resume tokens — including
+// across peers via resume_addr — and returns the accumulated stream. On a
 // retryable failure after the budget is spent it returns the partial
 // Result alongside the error, so callers can keep verified work.
 func (c *Client) Sample(ctx context.Context, req Request) (*Result, error) {
 	res := &Result{}
 	resume := req.Resume
+	// resumeBase pins resume legs to the address that holds the token;
+	// empty means "the current rotation base" (a token supplied by the
+	// caller in req.Resume, redeemed wherever we first connect).
+	resumeBase := ""
 	gotMeta := false
-	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+	start := time.Now()
+	budgetSpent := func() bool {
+		return c.cfg.MaxElapsed > 0 && time.Since(start) >= c.cfg.MaxElapsed
+	}
+	attempt := 0
+	for ; attempt < c.cfg.MaxAttempts; attempt++ {
+		if budgetSpent() {
+			break
+		}
 		if attempt > 0 {
 			res.Retries++
 		}
+		base := c.currentBase()
+		if resume != "" && resumeBase != "" {
+			base = resumeBase
+		}
 		mark := len(res.Solutions)
-		leg, status, err := c.leg(ctx, req, resume, res, &gotMeta)
+		leg, status, err := c.leg(ctx, base, req, resume, res, &gotMeta)
 		switch {
 		case err == nil && leg == legDone:
 			return res, nil
 		case err == nil && leg == legDrained:
 			// The server parked the stream and handed us its continuation;
-			// the next leg re-attaches. Not an error, but backed off — the
-			// drain usually means the process is about to restart.
+			// the next leg re-attaches — at the adopting peer when the done
+			// line named one, else at the server that parked it. Not an
+			// error, but backed off: the interruption usually means that
+			// process is restarting or rebalancing.
 			resume = res.Done.Resume
+			if res.Done.ResumeAddr != "" {
+				resumeBase = strings.TrimSuffix(res.Done.ResumeAddr, "/")
+			} else {
+				resumeBase = base
+			}
 			res.Resumes++
 			if werr := c.backoff(ctx, attempt, status, 0, true); werr != nil {
 				return res, werr
 			}
 		case err == nil && leg == legShed:
+			// A shed replica is a reason to try a sibling; resume legs stay
+			// pinned (the token lives in one spool).
+			if resume == "" {
+				c.rotate()
+			}
 			if werr := c.backoff(ctx, attempt, status, res.lastRetryAfter, false); werr != nil {
 				return res, werr
 			}
@@ -181,29 +269,40 @@ func (c *Client) Sample(ctx context.Context, req Request) (*Result, error) {
 		default:
 			var pse *preStreamError
 			if errors.As(err, &pse) {
-				// Connection-level failure before any response (server
-				// down or restarting): the leg retries verbatim — a resume
-				// token is still parked server-side.
+				// Connection-level failure before any response (server down
+				// or restarting): the leg retries verbatim — a resume token
+				// is still parked server-side, so resume legs keep knocking
+				// on the same address while fresh legs move to a sibling.
+				if resume == "" {
+					c.rotate()
+				}
 				if werr := c.backoff(ctx, attempt, 0, 0, resume != ""); werr != nil {
 					return res, werr
 				}
 				continue
 			}
 			// Transport failure mid-stream. This leg's partial deliveries
-			// are discarded — the retried request re-streams them, keeping
-			// the accumulated result exactly-once. A broken resume leg
-			// already consumed its one-shot token, so what survived
-			// earlier legs is all that remains.
+			// are discarded — the retried request (on the next replica, if
+			// the fleet has one) re-streams them, keeping the accumulated
+			// result exactly-once. A broken resume leg already consumed its
+			// one-shot token, so what survived earlier legs is all that
+			// remains.
 			res.Solutions = res.Solutions[:mark]
 			if resume != "" {
 				return res, fmt.Errorf("client: resume leg failed, token spent: %w", err)
 			}
+			c.rotate()
 			if werr := c.backoff(ctx, attempt, 0, 0, false); werr != nil {
 				return res, werr
 			}
 		}
 	}
-	return res, fmt.Errorf("%w after %d attempts", ErrAttemptsExhausted, c.cfg.MaxAttempts)
+	if budgetSpent() {
+		return res, fmt.Errorf("%w: %v spent over %d attempt(s) against %d address(es)",
+			ErrBudgetExhausted, c.cfg.MaxElapsed, attempt, len(c.bases))
+	}
+	return res, fmt.Errorf("%w after %d attempts against %d address(es)",
+		ErrAttemptsExhausted, c.cfg.MaxAttempts, len(c.bases))
 }
 
 // leg outcomes.
@@ -215,12 +314,13 @@ const (
 	legShed
 )
 
-// leg issues one HTTP exchange. It returns legShed (with the status) for
-// retryable statuses, legDrained when the stream ended drained with a
-// token, legDone on clean completion, and an error for transport
+// leg issues one HTTP exchange against base. It returns legShed (with the
+// status) for retryable statuses, legDrained when the stream ended
+// interrupted with a resume token (drain, handoff, or an unreadmitted
+// preemption), legDone on clean completion, and an error for transport
 // failures or terminal statuses.
-func (c *Client) leg(ctx context.Context, req Request, resume string, res *Result, gotMeta *bool) (legKind, int, error) {
-	u, body := c.buildURL(req, resume)
+func (c *Client) leg(ctx context.Context, base string, req Request, resume string, res *Result, gotMeta *bool) (legKind, int, error) {
+	u, body := buildURL(base, req, resume)
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(body))
 	if err != nil {
 		return legDone, 0, &StatusError{Status: 0, Body: err.Error()}
@@ -277,6 +377,9 @@ func (c *Client) leg(ctx context.Context, req Request, resume string, res *Resul
 				return legDone, resp.StatusCode, err
 			}
 			res.Solutions = append(res.Solutions, s.Assignment)
+			if c.cfg.OnSolution != nil {
+				c.cfg.OnSolution(len(res.Solutions))
+			}
 		case "done":
 			// Decode into a fresh Done: unmarshalling over the previous
 			// leg's summary would leave its drained/resume fields behind
@@ -286,6 +389,7 @@ func (c *Client) leg(ctx context.Context, req Request, resume string, res *Resul
 				return legDone, resp.StatusCode, err
 			}
 			res.Done = d
+			res.Preemptions += d.Preemptions
 			sawDone = true
 		}
 	}
@@ -295,15 +399,17 @@ func (c *Client) leg(ctx context.Context, req Request, resume string, res *Resul
 	if !sawDone {
 		return legDone, resp.StatusCode, errors.New("client: stream ended without a done line")
 	}
-	if res.Done.Drained && res.Done.Resume != "" {
+	if res.Done.Resume != "" {
+		// Any done line carrying a token is a continuation offer — drain,
+		// handoff, or a preemption that could not re-admit.
 		return legDrained, resp.StatusCode, nil
 	}
 	return legDone, resp.StatusCode, nil
 }
 
-// buildURL renders the request's query string; resume legs carry only the
-// token and target.
-func (c *Client) buildURL(req Request, resume string) (string, string) {
+// buildURL renders the request's query string against base; resume legs
+// carry only the token, target, and timeout.
+func buildURL(base string, req Request, resume string) (string, string) {
 	q := url.Values{}
 	q.Set("target", strconv.Itoa(req.Target))
 	if req.Timeout > 0 {
@@ -311,12 +417,12 @@ func (c *Client) buildURL(req Request, resume string) (string, string) {
 	}
 	if resume != "" {
 		q.Set("resume", resume)
-		return c.base + "/v1/sample?" + q.Encode(), ""
+		return base + "/v1/sample?" + q.Encode(), ""
 	}
 	if req.Seed != nil {
 		q.Set("seed", strconv.FormatInt(*req.Seed, 10))
 	}
-	return c.base + "/v1/sample?" + q.Encode(), req.DIMACS
+	return base + "/v1/sample?" + q.Encode(), req.DIMACS
 }
 
 // backoff sleeps the capped exponential delay (with ±25% jitter) before

@@ -262,3 +262,169 @@ func TestSampleResumeFromTokenParam(t *testing.T) {
 		t.Fatalf("unexpected result: %+v", res)
 	}
 }
+
+// TestFleetRotatesOnDeadReplica: fresh legs rotate through the fleet, so
+// a dead first replica costs one retry, not the request.
+func TestFleetRotatesOnDeadReplica(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":1}`,
+			`{"type":"solution","assignment":"1"}`,
+			`{"type":"done","unique":1,"delivered":1}`)
+	}))
+	defer good.Close()
+	dead := httptest.NewServer(nil)
+	dead.Close() // immediately: dials refuse
+
+	var waits []time.Duration
+	c := NewFleet([]string{dead.URL, good.URL}, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 1 1\n1 0\n", Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Retries != 1 {
+		t.Fatalf("solutions=%d retries=%d, want 1 solution after 1 rotation", len(res.Solutions), res.Retries)
+	}
+}
+
+// TestFleetRotatesOnShed: a shedding replica pushes fresh legs to the next
+// base instead of hammering the shedder through its backoff.
+func TestFleetRotatesOnShed(t *testing.T) {
+	var shedderCalls atomic.Int64
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shedderCalls.Add(1)
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer shedder.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":1}`,
+			`{"type":"solution","assignment":"1"}`,
+			`{"type":"done","unique":1,"delivered":1}`)
+	}))
+	defer good.Close()
+
+	var waits []time.Duration
+	c := NewFleet([]string{shedder.URL, good.URL}, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 1 1\n1 0\n", Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || shedderCalls.Load() != 1 {
+		t.Fatalf("solutions=%d shedderCalls=%d, want the second leg on the healthy base", len(res.Solutions), shedderCalls.Load())
+	}
+}
+
+// TestFleetFollowsResumeAddr: a handoff's resume_addr pins the resume leg
+// to the adopting peer even though that peer is not in the client's base
+// list — and the rotation cursor is untouched for later fresh legs.
+func TestFleetFollowsResumeAddr(t *testing.T) {
+	token := strings.Repeat("ba", 32)
+	var adopterResumes atomic.Int64
+	adopter := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") != token {
+			http.Error(w, "expected the handed-off token", http.StatusBadRequest)
+			return
+		}
+		adopterResumes.Add(1)
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":2,"resumed":true,"delivered":1}`,
+			`{"type":"solution","assignment":"10"}`,
+			`{"type":"done","unique":2,"delivered":2}`)
+	}))
+	defer adopter.Close()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") != "" {
+			http.Error(w, "token was handed off, not here", http.StatusBadRequest)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":2}`,
+			`{"type":"solution","assignment":"01"}`,
+			fmt.Sprintf(`{"type":"done","unique":1,"delivered":1,"drained":true,"timeout":true,"resume":%q,"resume_addr":%q}`, token, adopter.URL))
+	}))
+	defer origin.Close()
+
+	var waits []time.Duration
+	c := NewFleet([]string{origin.URL}, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Solutions, ","); got != "01,10" {
+		t.Fatalf("accumulated stream %q, want 01,10", got)
+	}
+	if adopterResumes.Load() != 1 || res.Resumes != 1 {
+		t.Fatalf("adopterResumes=%d resumes=%d, want the resume leg at the adopter", adopterResumes.Load(), res.Resumes)
+	}
+}
+
+// TestSampleElapsedBudget: against a fleet that never answers, the
+// wall-clock budget produces one clear terminal error naming the attempt
+// count, even with attempts left in MaxAttempts.
+func TestSampleElapsedBudget(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	dead2 := httptest.NewServer(nil)
+	dead2.Close()
+
+	var waits []time.Duration
+	c := NewFleet([]string{dead.URL, dead2.URL}, Config{
+		MaxAttempts: 1000,
+		MaxElapsed:  150 * time.Millisecond,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			time.Sleep(5 * time.Millisecond) // real time must pass for the budget
+			return ctx.Err()
+		},
+	})
+	start := time.Now()
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 1 1\n1 0\n", Target: 1})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if !strings.Contains(err.Error(), "attempt") || !strings.Contains(err.Error(), "2 address(es)") {
+		t.Fatalf("terminal error %q does not name attempts and fleet size", err)
+	}
+	if res == nil {
+		t.Fatal("partial result dropped on budget exhaustion")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget exhaustion took %v", elapsed)
+	}
+	if len(waits) == 0 {
+		t.Fatal("no attempts were made before the budget ran out")
+	}
+}
+
+// TestOnSolutionHook: the delivery hook observes every accumulated
+// solution with its running total — across legs, in order.
+func TestOnSolutionHook(t *testing.T) {
+	token := strings.Repeat("dc", 32)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("resume") == token {
+			writeStream(w,
+				`{"type":"meta","key":"k","batch":64,"target":3,"resumed":true,"delivered":2}`,
+				`{"type":"solution","assignment":"11"}`,
+				`{"type":"done","unique":3,"delivered":3}`)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":3}`,
+			`{"type":"solution","assignment":"01"}`,
+			`{"type":"solution","assignment":"10"}`,
+			fmt.Sprintf(`{"type":"done","unique":2,"delivered":2,"drained":true,"timeout":true,"resume":%q}`, token))
+	}))
+	defer ts.Close()
+	var totals []int
+	var waits []time.Duration
+	c := New(ts.URL, Config{Sleep: fastSleep(&waits), OnSolution: func(n int) { totals = append(totals, n) }})
+	if _, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(totals) != "[1 2 3]" {
+		t.Fatalf("OnSolution totals %v, want [1 2 3]", totals)
+	}
+}

@@ -26,6 +26,10 @@ type metrics struct {
 	projSolutions int64            // projected-distinct solutions streamed, total
 	checkpoints   int64            // drained streams parked in the spool
 	resumes       int64            // streams re-attached from a resume token
+	handoffSent   int64            // envelopes successfully pushed to a peer
+	handoffAdopt  int64            // envelopes accepted on /v1/adopt
+	handoffReject int64            // /v1/adopt requests this server refused
+	preemptions   int64            // sessions checkpointed off their worker slot
 	bucket        [rateWindow]int64
 	stamp         [rateWindow]int64 // unix second each bucket last belonged to
 }
@@ -42,6 +46,7 @@ const (
 	outcomeTooLarge   = "too_large"
 	outcomeNotFound   = "not_found"
 	outcomeShedQueue  = "shed_queue"
+	outcomeShedTenant = "shed_tenant"
 	outcomeShedMemory = "shed_memory"
 	outcomeDraining   = "draining"
 	outcomeCancelled  = "cancelled" // client gone before a stream started
@@ -93,6 +98,36 @@ func (m *metrics) resumed() {
 	m.mu.Unlock()
 }
 
+// handoffSentInc counts one envelope successfully handed to a peer.
+func (m *metrics) handoffSentInc() {
+	m.mu.Lock()
+	m.handoffSent++
+	m.mu.Unlock()
+}
+
+// handoffAdopted counts one envelope this server adopted from a peer.
+func (m *metrics) handoffAdopted() {
+	m.mu.Lock()
+	m.handoffAdopt++
+	m.mu.Unlock()
+}
+
+// handoffRejected counts one /v1/adopt request this server refused
+// (draining, damaged envelope, capacity, or an injected rejection).
+func (m *metrics) handoffRejected() {
+	m.mu.Lock()
+	m.handoffReject++
+	m.mu.Unlock()
+}
+
+// preempted counts one session checkpointed off its worker slot by the
+// SFQ preemption policy.
+func (m *metrics) preempted() {
+	m.mu.Lock()
+	m.preemptions++
+	m.mu.Unlock()
+}
+
 // solRate returns the aggregate solutions/s over the trailing window.
 func (m *metrics) solRate(now time.Time) float64 {
 	sec := now.Unix()
@@ -110,7 +145,7 @@ func (m *metrics) solRate(now time.Time) float64 {
 // shedTotal is the number of requests rejected by admission control.
 // Caller holds m.mu.
 func (m *metrics) shedTotalLocked() int64 {
-	return m.requests[outcomeShedQueue] + m.requests[outcomeShedMemory]
+	return m.requests[outcomeShedQueue] + m.requests[outcomeShedTenant] + m.requests[outcomeShedMemory]
 }
 
 // Write renders the metrics in Prometheus text format. The gauges owned by
@@ -118,7 +153,7 @@ func (m *metrics) shedTotalLocked() int64 {
 // call renders a single consistent page.
 func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget int64,
 	cs sampling.CompilerStats, draining bool,
-	spoolEntries int, spoolBytes, spoolEvictions int64) {
+	spoolEntries int, spoolBytes, spoolEvictions, spoolCorrupt int64) {
 	now := time.Now()
 	fmt.Fprintf(w, "# TYPE satserved_uptime_seconds counter\n")
 	fmt.Fprintf(w, "satserved_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
@@ -141,6 +176,8 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	solutions := m.solutions
 	projRequests, projSolutions := m.projRequests, m.projSolutions
 	checkpoints, resumes := m.checkpoints, m.resumes
+	hSent, hAdopt, hReject := m.handoffSent, m.handoffAdopt, m.handoffReject
+	preemptions := m.preemptions
 	shed := m.shedTotalLocked()
 	outcomes := make([]string, 0, len(m.requests))
 	for k := range m.requests {
@@ -177,6 +214,16 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	fmt.Fprintf(w, "satserved_spool_bytes %d\n", spoolBytes)
 	fmt.Fprintf(w, "# TYPE satserved_spool_evictions_total counter\n")
 	fmt.Fprintf(w, "satserved_spool_evictions_total %d\n", spoolEvictions)
+	fmt.Fprintf(w, "# TYPE satserved_spool_corrupt_total counter\n")
+	fmt.Fprintf(w, "satserved_spool_corrupt_total %d\n", spoolCorrupt)
+	fmt.Fprintf(w, "# TYPE satserved_handoff_sent_total counter\n")
+	fmt.Fprintf(w, "satserved_handoff_sent_total %d\n", hSent)
+	fmt.Fprintf(w, "# TYPE satserved_handoff_adopted_total counter\n")
+	fmt.Fprintf(w, "satserved_handoff_adopted_total %d\n", hAdopt)
+	fmt.Fprintf(w, "# TYPE satserved_handoff_rejected_total counter\n")
+	fmt.Fprintf(w, "satserved_handoff_rejected_total %d\n", hReject)
+	fmt.Fprintf(w, "# TYPE satserved_preemptions_total counter\n")
+	fmt.Fprintf(w, "satserved_preemptions_total %d\n", preemptions)
 
 	fmt.Fprintf(w, "# TYPE satserved_compiler_hits_total counter\n")
 	fmt.Fprintf(w, "satserved_compiler_hits_total %d\n", cs.Hits)

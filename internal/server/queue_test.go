@@ -9,7 +9,7 @@ import (
 )
 
 func TestQueueImmediateGrant(t *testing.T) {
-	q := newQueue(2, 4)
+	q := newQueue(2, 4, 0)
 	r1, err := q.Acquire(context.Background(), "a", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestQueueImmediateGrant(t *testing.T) {
 }
 
 func TestQueueBounded(t *testing.T) {
-	q := newQueue(1, 0) // no waiting room at all
+	q := newQueue(1, 0, 0) // no waiting room at all
 	release, err := q.Acquire(context.Background(), "a", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestQueueBounded(t *testing.T) {
 }
 
 func TestQueueCancelWhileWaiting(t *testing.T) {
-	q := newQueue(1, 8)
+	q := newQueue(1, 8, 0)
 	release, err := q.Acquire(context.Background(), "a", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestQueueCancelWhileWaiting(t *testing.T) {
 // often as B (A's finish tags land at 0.5, 1.0, 1.5, … while B's land at
 // 1, 2, 3, … — exactly 8 A-tags and 4 B-tags are <= 4.0).
 func TestQueueWeightedFairness(t *testing.T) {
-	q := newQueue(1, 64)
+	q := newQueue(1, 64, 0)
 	holder, err := q.Acquire(context.Background(), "hold", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestQueueWeightedFairness(t *testing.T) {
 // TestQueueFIFOWithinTenant: jobs of one tenant are granted in submission
 // order.
 func TestQueueFIFOWithinTenant(t *testing.T) {
-	q := newQueue(1, 8)
+	q := newQueue(1, 8, 0)
 	holder, err := q.Acquire(context.Background(), "hold", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestQueueFIFOWithinTenant(t *testing.T) {
 // TestQueueTenantStateBounded: idle tenants must not accumulate in the
 // fairness map (tenant churn is unbounded in a public service).
 func TestQueueTenantStateBounded(t *testing.T) {
-	q := newQueue(2, 8)
+	q := newQueue(2, 8, 0)
 	for i := 0; i < 100; i++ {
 		release, err := q.Acquire(context.Background(), string(rune('a'+i%26))+"x", 1)
 		if err != nil {
@@ -186,5 +186,195 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in 5s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueTenantWaiterCap: one tenant may park at most perTenant waiters;
+// the overflow fails fast with ErrTenantFull while other tenants (and the
+// same tenant, once a parked waiter is granted or gone) still queue.
+func TestQueueTenantWaiterCap(t *testing.T) {
+	q := newQueue(1, 16, 2)
+	release, err := q.Acquire(context.Background(), "hog", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := q.Acquire(context.Background(), "hog", 1)
+			if err != nil {
+				t.Errorf("parked hog waiter: %v", err)
+				return
+			}
+			r()
+		}()
+	}
+	waitFor(t, func() bool { return q.Depth() == 2 })
+	if _, err := q.Acquire(context.Background(), "hog", 1); !errors.Is(err, ErrTenantFull) {
+		t.Fatalf("third hog waiter: got %v, want ErrTenantFull", err)
+	}
+	// The cap is per tenant, not global: another tenant still queues.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := q.Acquire(context.Background(), "other", 1)
+		if err != nil {
+			t.Errorf("other tenant waiter: %v", err)
+			return
+		}
+		r()
+	}()
+	waitFor(t, func() bool { return q.Depth() == 3 })
+	release()
+	wg.Wait()
+	// With its parked share drained, the capped tenant queues again.
+	r, err := q.Acquire(context.Background(), "hog", 1)
+	if err != nil {
+		t.Fatalf("hog after drain: %v", err)
+	}
+	r()
+}
+
+// TestQueuePreemptOne: the preemption trigger fires only under genuine
+// starvation (all slots busy, a waiter past the threshold), selects the
+// minimum-finish-tag grant, and never selects the same grant twice.
+func TestQueuePreemptOne(t *testing.T) {
+	q := newQueue(2, 8, 0)
+	// No grants, no waiters: nothing to preempt.
+	if q.PreemptOne(0, time.Now()) {
+		t.Fatal("PreemptOne fired on an idle queue")
+	}
+	gA, err := q.AcquireGrant(context.Background(), "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A free slot remains: waiters would be granted, not served by preemption.
+	if q.PreemptOne(0, time.Now()) {
+		t.Fatal("PreemptOne fired with a free slot")
+	}
+	gB, err := q.AcquireGrant(context.Background(), "b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g, err := q.AcquireGrant(context.Background(), "c", 1)
+		if err != nil {
+			t.Errorf("starved waiter: %v", err)
+			return
+		}
+		g.Release()
+	}()
+	waitFor(t, func() bool { return q.Depth() == 1 })
+	// The waiter is younger than an hour: no starvation yet.
+	if q.PreemptOne(time.Hour, time.Now()) {
+		t.Fatal("PreemptOne fired before the starvation threshold")
+	}
+	// Victim is the largest virtual-finish overshoot = minimum finish tag:
+	// gA (weight 1, finish 1.0) over gB (weight 2, finish 0.5)... finish
+	// tags here are a=1.0, b=0.5, so gB is the minimum and yields first.
+	if !q.PreemptOne(0, time.Now()) {
+		t.Fatal("PreemptOne did not fire under starvation")
+	}
+	select {
+	case <-gB.Preempt:
+	default:
+		t.Fatal("minimum-finish-tag grant (b) was not the victim")
+	}
+	select {
+	case <-gA.Preempt:
+		t.Fatal("grant a was preempted alongside b")
+	default:
+	}
+	// b has not yielded yet; the next trigger must move on to a, not
+	// re-select b.
+	if !q.PreemptOne(0, time.Now()) {
+		t.Fatal("PreemptOne found no second victim")
+	}
+	select {
+	case <-gA.Preempt:
+	default:
+		t.Fatal("second PreemptOne did not select grant a")
+	}
+	// Every grant is already a victim: nothing left.
+	if q.PreemptOne(0, time.Now()) {
+		t.Fatal("PreemptOne selected a grant twice")
+	}
+	gB.Release()
+	<-done
+	gA.Release()
+}
+
+// TestQueuePreemptionCutsStarvation is the fairness differential behind
+// the preemption policy: a short job parked behind a long-running slot
+// holder waits the holder's full runtime without preemption, but only
+// about one starvation threshold with it. The cooperative holder yields on
+// Preempt and re-files behind a fresh SFQ tag, exactly as the server's
+// stream handler does.
+func TestQueuePreemptionCutsStarvation(t *testing.T) {
+	const holderRun = 300 * time.Millisecond
+	const threshold = 30 * time.Millisecond
+
+	run := func(preempt bool) time.Duration {
+		q := newQueue(1, 8, 0)
+		holder, err := q.AcquireGrant(context.Background(), "long", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holderDone := make(chan struct{})
+		go func() {
+			defer close(holderDone)
+			timer := time.NewTimer(holderRun)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				holder.Release()
+			case <-holder.Preempt:
+				// Yield and re-file behind the starved waiter.
+				holder.Release()
+				if g, err := q.AcquireGrant(context.Background(), "long", 1); err == nil {
+					g.Release()
+				}
+			}
+		}()
+		start := time.Now()
+		waitCh := make(chan time.Duration, 1)
+		go func() {
+			g, err := q.AcquireGrant(context.Background(), "short", 1)
+			if err != nil {
+				t.Errorf("short job: %v", err)
+				waitCh <- 0
+				return
+			}
+			waitCh <- time.Since(start)
+			g.Release()
+		}()
+		if preempt {
+			for {
+				select {
+				case wait := <-waitCh:
+					<-holderDone
+					return wait
+				default:
+					q.PreemptOne(threshold, time.Now())
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}
+		wait := <-waitCh
+		<-holderDone
+		return wait
+	}
+
+	waitNo := run(false)
+	waitPre := run(true)
+	if waitNo < holderRun/2 {
+		t.Fatalf("control arm waited %v, expected roughly the holder runtime %v", waitNo, holderRun)
+	}
+	if waitPre >= waitNo/3 {
+		t.Fatalf("preemption arm waited %v, want well under a third of the %v control wait", waitPre, waitNo)
 	}
 }

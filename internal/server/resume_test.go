@@ -282,7 +282,7 @@ func TestResumeRepricedByLedger(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("resume against a full ledger: status %d, want 429", resp.StatusCode)
 	}
-	if n, _, _ := tiny.spool.Stats(); n != 1 {
+	if n, _, _, _ := tiny.spool.Stats(); n != 1 {
 		t.Fatalf("token was not re-spooled after the shed: %d entries", n)
 	}
 
@@ -349,7 +349,7 @@ func TestSpoolMetricsExported(t *testing.T) {
 	if _, err := s.spool.Put(env2); err != nil {
 		t.Fatal(err)
 	}
-	entries, bytes, evictions := s.spool.Stats()
+	entries, bytes, evictions, _ := s.spool.Stats()
 	if bytes > budget {
 		t.Fatalf("spool holds %d bytes over a %d budget", bytes, budget)
 	}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/faultinject"
 	"repro/internal/sampling"
 	"repro/internal/tensor"
 )
@@ -106,6 +107,29 @@ type Config struct {
 	// tokens survive a process restart — the chaos tier's kill/restart
 	// path. Empty keeps the spool in memory only.
 	SpoolDir string
+	// Peers lists sibling replicas' base URLs ("http://10.0.0.2:8080").
+	// A draining server — or one told to POST /v1/handoff — pushes each
+	// interrupted stream's checkpoint envelope to the first healthy peer
+	// with capacity instead of only parking it locally; the done line's
+	// resume_addr then points the retrying client straight at the adopting
+	// peer. Empty disables handoff (drains spool locally as before).
+	Peers []string
+	// PeerProbe is the /healthz probe interval for Peers (default 1s).
+	PeerProbe time.Duration
+	// PreemptThreshold enables SFQ preemption: once the oldest queued
+	// request has starved this long with every worker slot busy, the
+	// active session with the largest virtual-finish overshoot is
+	// checkpointed at its next tick boundary, spooled, and re-enqueued
+	// behind a fresh fair-queueing tag — the stream stays on its HTTP
+	// connection across the gap. Zero disables preemption.
+	PreemptThreshold time.Duration
+	// TenantQueueDepth bounds the waiters any one tenant may park in the
+	// admission queue; overflow is shed with 429 + Retry-After (default 0:
+	// no per-tenant bound beyond QueueDepth).
+	TenantQueueDepth int
+	// Injector, when armed, injects chaos-tier faults (adoption
+	// rejections). Nil is inert.
+	Injector *faultinject.Injector
 	// Seed bases the per-request session seeds (default 1).
 	Seed int64
 	// Log receives structured request logs (default slog.Default()).
@@ -152,6 +176,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 5 * time.Second
 	}
+	if c.PeerProbe <= 0 {
+		c.PeerProbe = time.Second
+	}
 	if c.SpoolBudget == 0 {
 		c.SpoolBudget = 32 << 20
 	}
@@ -186,11 +213,24 @@ type Server struct {
 	sessCtx    context.Context // cancelled when the drain grace expires
 	sessCancel context.CancelFunc
 
+	// peers is the replica registry behind live handoff (nil without
+	// Peers). handoff holds the current handoff epoch: an admin
+	// POST /v1/handoff swaps in a fresh epoch and closes the old one's
+	// channel, which every in-flight stream is watching.
+	peers   *peerSet
+	handoff atomic.Pointer[handoffSignal]
+
 	memMu    sync.Mutex
 	reserved int64
 
-	seq atomic.Int64 // request counter: ids and per-session seeds
+	seq       atomic.Int64 // request counter: ids and per-session seeds
+	closed    chan struct{}
+	closeOnce sync.Once
 }
+
+// handoffSignal is one handoff epoch: ch closes when an admin asks the
+// streams of that epoch to move to a peer.
+type handoffSignal struct{ ch chan struct{} }
 
 // New builds a Server from cfg (zero fields defaulted).
 func New(cfg Config) *Server {
@@ -204,10 +244,10 @@ func New(cfg Config) *Server {
 		cfg.Log.Warn("spool directory unusable; falling back to memory-only spool", "err", err)
 		sp, _ = newSpool(cfg.SpoolBudget, "", cfg.Log)
 	}
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		compiler:    cfg.Compiler,
-		queue:       newQueue(cfg.Workers, cfg.QueueDepth),
+		queue:       newQueue(cfg.Workers, cfg.QueueDepth, cfg.TenantQueueDepth),
 		met:         newMetrics(),
 		spool:       sp,
 		log:         cfg.Log,
@@ -215,6 +255,52 @@ func New(cfg Config) *Server {
 		compileGate: make(chan struct{}, cfg.Workers),
 		sessCtx:     ctx,
 		sessCancel:  cancel,
+		closed:      make(chan struct{}),
+	}
+	s.handoff.Store(&handoffSignal{ch: make(chan struct{})})
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerSet(cfg.Peers, cfg.PeerProbe, cfg.Log)
+	}
+	if cfg.PreemptThreshold > 0 {
+		go s.preemptLoop()
+	}
+	return s
+}
+
+// Close stops the server's background loops (peer prober, preemption
+// ticker) and cancels any remaining session contexts. It does not wait for
+// in-flight streams; for a graceful stop call StartDrain and
+// http.Server.Shutdown first, then Close. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.peers != nil {
+			s.peers.Close()
+		}
+		s.sessCancel()
+	})
+}
+
+// preemptLoop periodically asks the queue to apply the preemption policy.
+// The queue picks the victim (and enforces the starvation threshold); the
+// victim's own handler does the checkpoint/re-queue dance, so this loop
+// only ticks.
+func (s *Server) preemptLoop() {
+	interval := s.cfg.PreemptThreshold / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case now := <-t.C:
+			if s.queue.PreemptOne(s.cfg.PreemptThreshold, now) {
+				s.log.Info("preemption signalled", "oldest_wait", s.queue.OldestWait(now))
+			}
+		}
 	}
 }
 
@@ -226,6 +312,8 @@ func (s *Server) Compiler() *sampling.Compiler { return s.compiler }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("POST /v1/adopt", s.handleAdopt)
+	mux.HandleFunc("POST /v1/handoff", s.handleHandoff)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -381,10 +469,63 @@ type doneLine struct {
 	Timeout       bool    `json:"timeout"`
 	Exhausted     bool    `json:"exhausted"`
 	Drained       bool    `json:"drained"`
-	// Resume is the opaque one-shot token a drained stream can be
+	// Resume is the opaque one-shot token an interrupted stream can be
 	// re-attached with (POST /v1/sample?resume=<token>); empty when the
 	// stream completed or the spool could not hold the checkpoint.
 	Resume string `json:"resume,omitempty"`
+	// ResumeAddr, when set, is the base URL of the peer that adopted this
+	// stream's checkpoint: the client should present Resume there, not
+	// here. Empty means the token is local to the issuing server.
+	ResumeAddr string `json:"resume_addr,omitempty"`
+	// Preempted marks a stream that ended because it was preempted off its
+	// worker slot and could not be re-admitted (drain or disconnect struck
+	// while it was parked); Resume carries its token. Preemptions counts
+	// the times this stream was checkpointed off its slot and transparently
+	// re-admitted on this same connection.
+	Preempted   bool `json:"preempted,omitempty"`
+	Preemptions int  `json:"preemptions,omitempty"`
+}
+
+// yieldWatch merges the grant's preemption signal and the handoff epoch
+// into the single yield channel StreamYield polls at tick boundaries. The
+// returned stop func releases the watcher goroutine; nil inputs are simply
+// never selected (both nil: no watcher at all).
+func yieldWatch(preempt, handoff <-chan struct{}) (<-chan struct{}, func()) {
+	if preempt == nil && handoff == nil {
+		return nil, func() {}
+	}
+	yield := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-preempt:
+			close(yield)
+		case <-handoff:
+			close(yield)
+		case <-stop:
+		}
+	}()
+	return yield, func() { close(stop) }
+}
+
+// parkEnvelope finds a home for an interrupted stream's checkpoint: the
+// first healthy peer that adopts it (the client is redirected there via
+// resume_addr), falling back to the local spool.
+func (s *Server) parkEnvelope(id int64, env []byte) (token, addr string) {
+	if s.peers != nil {
+		if tok, peer, ok := s.peers.Handoff(env); ok {
+			s.met.handoffSentInc()
+			s.log.Info("stream handed to peer", "id", id, "peer", peer)
+			return tok, peer
+		}
+	}
+	tok, err := s.spool.Put(env)
+	if err != nil {
+		s.log.Warn("checkpoint not spooled", "id", id, "err", err)
+		return "", ""
+	}
+	s.met.checkpointed()
+	return tok, ""
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -617,14 +758,27 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.errorBody(w, http.StatusTooManyRequests, "session memory budget exhausted", outcomeShedMemory, "2")
 		return
 	}
-	defer s.unreserve(est)
+	// Preemption temporarily gives the reservation (and the grant) back;
+	// the flags keep the deferred cleanup balanced across those gaps.
+	memHeld := true
+	defer func() {
+		if memHeld {
+			s.unreserve(est)
+		}
+	}()
 
 	qt0 := time.Now()
-	release, err := s.queue.Acquire(r.Context(), tenant, weight)
+	grant, err := s.queue.AcquireGrant(r.Context(), tenant, weight)
 	if errors.Is(err, ErrQueueFull) {
 		reSpool()
 		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "queue", "key", short(prob.Key()))
 		s.errorBody(w, http.StatusTooManyRequests, "queue full", outcomeShedQueue, "1")
+		return
+	}
+	if errors.Is(err, ErrTenantFull) {
+		reSpool()
+		s.log.Warn("shed", "id", id, "tenant", tenant, "reason", "tenant_queue", "key", short(prob.Key()))
+		s.errorBody(w, http.StatusTooManyRequests, "tenant queue share full", outcomeShedTenant, "1")
 		return
 	}
 	if errors.Is(err, ErrDraining) {
@@ -641,7 +795,11 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.met.request(outcomeCancelled)
 		return
 	}
-	defer release()
+	defer func() {
+		if grant != nil {
+			grant.Release()
+		}
+	}()
 	// Pure slot wait — parse/compile time is excluded so operators tuning
 	// Workers/QueueDepth see real queueing pressure, not compile cost.
 	queueWait := time.Since(qt0)
@@ -708,7 +866,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// Delivery is counted on the session (not this request) so a resumed
 	// stream's earlier deliveries count toward its target.
 	delivered := 0
-	st, serr := sess.Stream(ctx, target, func(sol []bool) error {
+	sink := func(sol []bool) error {
 		if err := writeLine(solutionLine{Type: "solution", Assignment: bitString(sol)}); err != nil {
 			return err
 		}
@@ -718,22 +876,107 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			return sampling.Stop
 		}
 		return nil
-	})
+	}
+
+	// The stream runs in legs: a leg ends at the target, the deadline, an
+	// error — or a yield request (preemption or handoff) at a tick
+	// boundary. A preempted leg checkpoints, gives back slot + memory,
+	// re-files behind a fresh SFQ tag (behind every starved waiter that
+	// triggered it), restores, and continues on this same connection; a
+	// handoff leg parks the checkpoint on a peer and ends the stream.
+	handoffCh := s.handoff.Load().ch
+	var preemptCh <-chan struct{}
+	var st sampling.Stats
+	var serr error
+	var resumeToken, resumeAddr string
+	preemptions := 0
+	preempted := false
+	preemptBroken := false // a failed checkpoint pins the session to its slot
+	for {
+		preemptCh = nil
+		if grant != nil && !preemptBroken {
+			preemptCh = grant.Preempt
+		}
+		yield, stopYield := yieldWatch(preemptCh, handoffCh)
+		st, serr = sess.StreamYield(ctx, target, yield, sink)
+		stopYield()
+		if serr != nil || !st.Yielded {
+			break
+		}
+		isPreempt := false
+		select {
+		case <-grant.Preempt:
+			isPreempt = true
+		default:
+		}
+		env, cerr := sess.Checkpoint()
+		if cerr != nil {
+			// A session that cannot be checkpointed cannot move: keep
+			// streaming and stop watching the signal that fired.
+			s.log.Warn("yield checkpoint failed; stream pinned", "id", id, "err", cerr)
+			if isPreempt {
+				preemptBroken = true
+			} else {
+				handoffCh = nil
+			}
+			continue
+		}
+		if !isPreempt {
+			// Handoff: the checkpoint moves to a peer (spool fallback) and
+			// the client re-attaches wherever the token landed.
+			resumeToken, resumeAddr = s.parkEnvelope(id, env)
+			break
+		}
+		preemptions++
+		s.met.preempted()
+		// Spool before giving anything up: if the process dies while this
+		// request is parked in the queue, the checkpoint survives.
+		tok, perr := s.spool.Put(env)
+		if perr != nil {
+			s.log.Warn("preempt checkpoint not spooled; held in memory only", "id", id, "err", perr)
+		}
+		s.unreserve(est)
+		memHeld = false
+		grant.Release()
+		grant = nil
+		s.log.Info("preempted", "id", id, "tenant", tenant, "delivered", sess.Delivered())
+		g2, qerr := s.queue.AcquireGrant(r.Context(), tenant, weight)
+		if qerr != nil {
+			// Could not get back in (drain, full queue, disconnect): hand
+			// the client its token; the checkpoint stays spooled.
+			resumeToken, preempted = tok, true
+			break
+		}
+		grant = g2
+		if !s.reserve(est) {
+			resumeToken, preempted = tok, true
+			break
+		}
+		memHeld = true
+		if tok != "" {
+			// The session continues here; reclaim the safety copy.
+			s.spool.Take(tok)
+		}
+		ck2, derr := sampling.DecodeCheckpoint(env)
+		if derr == nil {
+			sess, derr = prob.RestoreSession(ck2, s.cfg.Device)
+		}
+		if derr != nil {
+			serr = fmt.Errorf("preemption restore: %w", derr)
+			break
+		}
+	}
 
 	drained := s.sessCtx.Err() != nil && st.Timeout
-	// A drained stream parks its full state in the spool and hands the
-	// client a resume token on the summary line: the drain preserved the
-	// session instead of discarding it, so nothing is lost across the
-	// restart — the next process re-admits the very same stream.
-	var resumeToken string
-	if drained && serr == nil {
+	// A drained stream parks its full state — on a peer when one will
+	// adopt it, in the local spool otherwise — and hands the client a
+	// resume token on the summary line: the drain preserved the session
+	// instead of discarding it, so nothing is lost across the restart.
+	if drained && serr == nil && resumeToken == "" {
 		if env, cerr := sess.Checkpoint(); cerr != nil {
 			s.log.Warn("drain checkpoint failed", "id", id, "err", cerr)
-		} else if tok, perr := s.spool.Put(env); perr != nil {
-			s.log.Warn("drain checkpoint not spooled", "id", id, "err", perr)
 		} else {
-			resumeToken = tok
-			s.met.checkpointed()
+			resumeToken, resumeAddr = s.parkEnvelope(id, env)
 		}
 	}
 	outcome := outcomeOK
@@ -746,7 +989,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			ElapsedMS: float64(st.Elapsed.Microseconds()) / 1e3,
 			SolPerSec: st.Throughput(), Timeout: st.Timeout,
 			Exhausted: st.Exhausted, Drained: drained,
-			Resume: resumeToken,
+			Resume: resumeToken, ResumeAddr: resumeAddr,
+			Preempted: preempted, Preemptions: preemptions,
 		})
 	}
 	if projVars > 0 {
@@ -758,22 +1002,34 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		"queue_ms", queueWait.Milliseconds(), "elapsed_ms", st.Elapsed.Milliseconds(),
 		"total_ms", time.Since(t0).Milliseconds(), "timeout", st.Timeout,
 		"exhausted", st.Exhausted, "drained", drained, "resumed", ck != nil,
+		"preemptions", preemptions, "handed_off", resumeAddr != "",
 		"checkpointed", resumeToken != "", "outcome", outcome)
 }
 
+// handleHealthz reports liveness plus the capacity hints peers use to pick
+// an adoption target: free worker slots, free queue depth, unreserved
+// session memory, and whether this server adopts handoffs at all.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	s.memMu.Lock()
+	reserved := s.reserved
+	s.memMu.Unlock()
+	active, queued := s.queue.Active(), s.queue.Depth()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":  status,
-		"active":  s.queue.Active(),
-		"queued":  s.queue.Depth(),
-		"uptime":  time.Since(s.met.start).Round(time.Millisecond).String(),
-		"version": "satserved/1",
+		"status":         status,
+		"active":         active,
+		"queued":         queued,
+		"free_slots":     max(0, s.cfg.Workers-active),
+		"queue_free":     max(0, s.cfg.QueueDepth-queued),
+		"mem_free_bytes": max(0, s.cfg.MemoryBudget-reserved),
+		"adopt":          !s.draining.Load() && s.cfg.SpoolBudget > 0,
+		"uptime":         time.Since(s.met.start).Round(time.Millisecond).String(),
+		"version":        "satserved/1",
 	})
 }
 
@@ -782,10 +1038,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reserved := s.reserved
 	s.memMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	spoolEntries, spoolBytes, spoolEvictions := s.spool.Stats()
+	spoolEntries, spoolBytes, spoolEvictions, spoolCorrupt := s.spool.Stats()
 	s.met.Write(w, s.queue.Depth(), s.queue.Active(), reserved, s.cfg.MemoryBudget,
 		s.compiler.Stats(), s.draining.Load(),
-		spoolEntries, spoolBytes, spoolEvictions)
+		spoolEntries, spoolBytes, spoolEvictions, spoolCorrupt)
 }
 
 // bitString renders a dense assignment as the CLI-compatible 0/1 string.

@@ -35,6 +35,9 @@ type streamLine struct {
 	Drained       bool    `json:"drained"`
 	Resumed       bool    `json:"resumed"`
 	Resume        string  `json:"resume"`
+	ResumeAddr    string  `json:"resume_addr"`
+	Preempted     bool    `json:"preempted"`
+	Preemptions   int     `json:"preemptions"`
 }
 
 type stream struct {
@@ -98,6 +101,7 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 

@@ -40,6 +40,7 @@ type spool struct {
 	byToken   map[string]*list.Element
 	bytes     int64
 	evictions int64
+	corrupt   int64 // entries quarantined at boot or dropped on a failed Take check
 	log       *slog.Logger
 }
 
@@ -88,6 +89,24 @@ func newSpool(budget int64, dir string, log *slog.Logger) (*spool, error) {
 		if err != nil {
 			continue
 		}
+		// Startup re-indexing must survive whatever a crash left behind:
+		// every candidate file is read back and checked against its token
+		// (the content hash) before it enters the index. Truncated or
+		// partially-written checkpoints — a torn write under SIGKILL, a
+		// full disk — are quarantined (renamed aside for forensics, never
+		// deleted silently) and counted, not indexed and not fatal.
+		data, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
+		if rerr != nil || !contentMatches(token, data) {
+			sp.corrupt++
+			qpath := filepath.Join(dir, e.Name()+".corrupt")
+			if err := os.Rename(filepath.Join(dir, e.Name()), qpath); err != nil {
+				log.Warn("spool quarantine rename failed", "token", token[:12], "err", err)
+			} else {
+				log.Warn("spool entry failed its content check at startup; quarantined",
+					"token", token[:12], "bytes", info.Size())
+			}
+			continue
+		}
 		found = append(found, onDisk{token: token, size: info.Size(), mtime: info.ModTime().UnixNano()})
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
@@ -101,6 +120,12 @@ func newSpool(budget int64, dir string, log *slog.Logger) (*spool, error) {
 		log.Info("spool recovered", "entries", n, "bytes", sp.bytes)
 	}
 	return sp, nil
+}
+
+// contentMatches reports whether data hashes to the token naming it.
+func contentMatches(token string, data []byte) bool {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]) == token
 }
 
 // validToken reports whether s looks like a token this spool issued (a
@@ -182,7 +207,10 @@ func (sp *spool) Take(token string) ([]byte, bool) {
 	if data == nil {
 		return nil, false
 	}
-	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != token {
+	if !contentMatches(token, data) {
+		sp.mu.Lock()
+		sp.corrupt++
+		sp.mu.Unlock()
 		sp.log.Warn("spool entry failed its content check; dropped", "token", token[:12])
 		return nil, false
 	}
@@ -210,8 +238,8 @@ func (sp *spool) path(token string) string {
 }
 
 // Stats returns the gauges exported on /metrics.
-func (sp *spool) Stats() (entries int, bytes, evictions int64) {
+func (sp *spool) Stats() (entries int, bytes, evictions, corrupt int64) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	return sp.lru.Len(), sp.bytes, sp.evictions
+	return sp.lru.Len(), sp.bytes, sp.evictions, sp.corrupt
 }
