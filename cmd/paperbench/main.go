@@ -8,6 +8,7 @@
 //	paperbench -exp fig4              # Fig. 4: device speedup, ops reduction, transform time
 //	paperbench -exp engine            # compiled-engine shape: fusion, registers, memory
 //	paperbench -exp sched             # continuous-batch scheduler vs round mode
+//	paperbench -exp cache             # durable compile tier: cold compile vs store load vs warm hit
 //	paperbench -exp serve             # satserved load generator: p50/p99 latency, sol/s vs clients
 //	paperbench -exp quality           # exact-count coverage + chi-square uniformity oracle
 //	paperbench -exp all               # everything
@@ -23,7 +24,10 @@
 // exits non-zero unless the 4-worker arm reaches 3x the 1-worker arm on
 // at least two instances (speedup leg skipped below 4 host CPUs) and
 // solution streams stay bit-identical across worker counts — the
-// regression gate for the multi-core tick.
+// regression gate for the multi-core tick. -checkcache exits non-zero
+// unless loading a stored problem beats cold compilation by at least 5x
+// on at least two instances — the regression gate for the GDSP codec and
+// the durable compile tier.
 //
 // All experiments share one sampling.Compiler, so each instance is
 // transformed and engine-compiled once for the whole run (fig3, fig4 and
@@ -69,12 +73,15 @@ type report struct {
 	Quality  []QualityRow           `json:"quality,omitempty"`
 	Fig2     []harness.Fig2Point    `json:"fig2,omitempty"`
 	Fig4     []harness.Fig4Row      `json:"fig4,omitempty"`
-	Cache    sampling.CompilerStats `json:"cache"`
+	// CacheTier is the durable-compile-tier comparison (-exp cache);
+	// Cache is the shared in-memory compile cache's counters for the run.
+	CacheTier []harness.CacheRow     `json:"cache_tier,omitempty"`
+	Cache     sampling.CompilerStats `json:"cache"`
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2 | scale | fig2 | fig3 | fig4 | engine | sched | serve | quality | all")
+		exp        = flag.String("exp", "all", "experiment: table2 | scale | fig2 | fig3 | fig4 | engine | sched | serve | quality | cache | all")
 		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -84,6 +91,7 @@ func main() {
 		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
 		checkScale = flag.Bool("checkscale", false, "with -exp scale: fail unless the 4-worker arm reaches 3x on at least two instances (skipped below 4 host CPUs) and all streams stay identical")
 		checkQual  = flag.Bool("checkquality", false, "with -exp quality: fail unless every exact-counted instance hits full coverage and passes the uniformity smoke")
+		checkCache = flag.Bool("checkcache", false, "with -exp cache: fail unless store load beats cold compile 5x on at least two instances")
 		maxCNF     = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
 	)
 	flag.Parse()
@@ -122,7 +130,7 @@ func main() {
 
 	rep.HostCPUs = runtime.NumCPU()
 
-	schedOK, serveOK, qualOK, scaleOK := true, true, true, true
+	schedOK, serveOK, qualOK, scaleOK, cacheOK := true, true, true, true, true
 	switch *exp {
 	case "table2":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
@@ -138,6 +146,8 @@ func main() {
 		runEngine(ctx, figSet(), compiler, dev)
 	case "sched":
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
+	case "cache":
+		rep.CacheTier, cacheOK = runCache(ctx, table2Set(), opt, *checkCache)
 	case "serve":
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 	case "quality":
@@ -154,6 +164,8 @@ func main() {
 		rep.Fig4 = runFig4(ctx, figSet(), opt)
 		fmt.Println()
 		rep.Sched, schedOK = runSched(ctx, schedSet(), opt, *checkSched)
+		fmt.Println()
+		rep.CacheTier, cacheOK = runCache(ctx, table2Set(), opt, *checkCache)
 		fmt.Println()
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 		fmt.Println()
@@ -190,6 +202,10 @@ func main() {
 	}
 	if !scaleOK {
 		fmt.Fprintln(os.Stderr, "paperbench: scale check FAILED — multi-core speedup or stream identity below the gate")
+		os.Exit(1)
+	}
+	if !cacheOK {
+		fmt.Fprintln(os.Stderr, "paperbench: cache check FAILED — store load not decisively faster than cold compilation")
 		os.Exit(1)
 	}
 }
@@ -333,6 +349,46 @@ func runSched(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOpti
 		ok = false
 	}
 	return rows, ok
+}
+
+// runCache measures the durable compile tier: per instance, the cold
+// transform-and-compile time, the time to load the same problem back from
+// a content-addressed store (read + GDSP decode), and the in-memory warm
+// hit. The store lives in a throwaway directory — the experiment measures
+// the codec, not a shared deployment. With check set, store load must beat
+// cold compile by 5x on at least two instances (tiny instances compile in
+// microseconds, where the constant per-file cost hides the codec's win).
+func runCache(ctx context.Context, ins []*benchgen.Instance, opt harness.RunOptions, check bool) ([]harness.CacheRow, bool) {
+	fmt.Println("== Cache: durable compile tier — cold compile vs store load vs warm hit ==")
+	fmt.Println()
+	dir, err := os.MkdirTemp("", "paperbench-store-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: cache store:", err)
+		return nil, !check
+	}
+	defer os.RemoveAll(dir)
+	rows, err := harness.RunCache(ctx, ins, dir, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: cache run:", err)
+		return nil, !check
+	}
+	harness.RenderCache(os.Stdout, rows)
+	if !check {
+		return rows, true
+	}
+	const wantSpeedup, wantInstances = 5.0, 2
+	fast := 0
+	for _, r := range rows {
+		if r.Speedup >= wantSpeedup {
+			fast++
+		}
+	}
+	if fast < wantInstances {
+		fmt.Fprintf(os.Stderr, "paperbench: only %d instances loaded %.0fx faster than cold compile, need >= %d\n",
+			fast, wantSpeedup, wantInstances)
+		return rows, false
+	}
+	return rows, true
 }
 
 // runEngine reports the compiled execution engine's shape per instance:

@@ -9,7 +9,8 @@
 //	          [-cache 64] [-cachebudget 256] [-membudget 512]
 //	          [-sessionmem 64] [-maxtarget 100000] [-maxtimeout 2m]
 //	          [-maxcnf 8388608] [-draingrace 5s] [-spool dir]
-//	          [-spoolbudget 32] [-peers a,b] [-peerprobe 1s]
+//	          [-spoolbudget 32] [-store dir] [-storebudget 0]
+//	          [-peers a,b] [-peerprobe 1s]
 //	          [-preempt 0] [-faultplan plan] [-logjson] [-portfile path]
 //
 // Endpoints:
@@ -45,6 +46,13 @@
 // a tick boundary and re-admitted behind a fresh fair-queue tag.
 // -faultplan arms the chaos tier (see internal/faultinject) — test
 // builds only.
+//
+// -store mounts the durable compile tier: compiled problems are encoded
+// (GDSP) into a content-addressed directory and loaded back instead of
+// recompiled — across restarts, and across every replica pointing -store
+// at the same shared directory (each formula then compiles once
+// fleet-wide). -storebudget bounds the directory in MiB (0 = unbounded),
+// evicting least-recently-served artifacts first.
 package main
 
 import (
@@ -66,6 +74,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -111,6 +120,8 @@ func run() error {
 		drainGrace  = flag.Duration("draingrace", 5*time.Second, "how long in-flight streams may run after SIGTERM")
 		spoolDir    = flag.String("spool", "", "directory for drained-stream checkpoints (empty = in-memory spool only; tokens die with the process)")
 		spoolBudget = flag.Int64("spoolbudget", 32, "checkpoint spool byte budget (MiB; 0 = default, <0 disables resume)")
+		storeDir    = flag.String("store", "", "directory for the durable compile tier (content-addressed problem artifacts; share one dir across replicas); empty disables")
+		storeBudget = flag.Int64("storebudget", 0, "compile-store byte budget (MiB; 0 = unbounded), LRU-evicted by last use")
 		peers       = flag.String("peers", "", "comma-separated peer base URLs for live checkpoint handoff (empty = no fleet)")
 		peerProbe   = flag.Duration("peerprobe", time.Second, "peer health probe interval")
 		preempt     = flag.Duration("preempt", 0, "SFQ preemption threshold: checkpoint the most-overserved stream when a waiter starves this long (0 = off)")
@@ -145,8 +156,18 @@ func run() error {
 		dev = tensor.ParallelN(*devWorkers)
 	}
 
+	var problemStore *store.Store
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeBudget<<20, log)
+		if err != nil {
+			return fmt.Errorf("compile store: %w", err)
+		}
+		problemStore = st
+	}
+
 	srv := server.New(server.Config{
 		Compiler:         sampling.NewCompilerBudget(*cacheCap, *cacheBudget<<20),
+		Store:            problemStore,
 		Device:           dev,
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,

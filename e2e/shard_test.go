@@ -1,0 +1,218 @@
+package e2e
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/sampling"
+	"repro/internal/server/client"
+)
+
+// startSharded boots the satsharded proxy over the given replica bases
+// and waits for its port file.
+func startSharded(t *testing.T, bin string, replicas string) *servedProc {
+	t.Helper()
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-portfile", portFile,
+		"-replicas", replicas,
+		"-probe", "100ms",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &servedProc{cmd: cmd, exited: make(chan struct{}), err: new(error)}
+	go func() { *p.err = cmd.Wait(); close(p.exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-p.exited:
+		default:
+			cmd.Process.Kill()
+			<-p.exited
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			p.base = "http://" + string(b)
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("satsharded never wrote its port file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitHealthyFleet blocks until the proxy's /healthz reports n healthy
+// replicas, so routing decisions in the test see settled probe state.
+func waitHealthyFleet(t *testing.T, proxyBase string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(proxyBase + "/healthz")
+		if err == nil {
+			var body struct {
+				Healthy int `json:"healthy"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if derr == nil && body.Healthy >= n {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never saw %d healthy replicas", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestShardedFleetConvergence is the sharded-serving acceptance run:
+// satsharded in front of two satserved replicas sharing one -store
+// directory. A fault-free baseline through the proxy establishes the
+// reference stream (and lets the owning replica park the compiled
+// artifact in the shared store); then the owner is SIGKILLed mid-stream
+// and the fleet client's rotation re-runs the pinned-seed request through
+// the proxy, which reroutes to the survivor. The survivor must load the
+// problem warm from the store — disk-hit counter non-zero, no recompile
+// of record — and determinism must make the retried stream byte-identical
+// to the fault-free run: zero solutions lost across a replica death.
+func TestShardedFleetConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	servedBin := filepath.Join(dir, "satserved")
+	shardedBin := filepath.Join(dir, "satsharded")
+	for bin, pkg := range map[string]string{servedBin: "repro/cmd/satserved", shardedBin: "repro/cmd/satsharded"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("building %s: %v", pkg, err)
+		}
+	}
+
+	f := smallCNF()
+	dimacs := f.DIMACSString()
+	key := sampling.HashFormula(f)
+	const nWant = 60
+
+	storeDir := t.TempDir() // the shared durable compile tier
+	srvA := startServedWith(t, servedBin, t.TempDir(), "-store", storeDir)
+	srvB := startServedWith(t, servedBin, t.TempDir(), "-store", storeDir)
+	proxy := startSharded(t, shardedBin, srvA.base+","+srvB.base)
+	waitHealthyFleet(t, proxy.base, 2)
+
+	// Fault-free baseline through the proxy. Consistent hashing parks the
+	// key on exactly one replica (the owner), which compiles once and
+	// writes the artifact into the shared store.
+	ref := openFleet(t, proxy.base+"/v1/sample?target=0&seed=11&timeout=55s", dimacs)
+	want := ref.readN(t, nWant)
+	ref.close()
+	for _, sol := range want {
+		if !verifies(f, sol) {
+			t.Fatalf("baseline streamed an unsatisfying assignment: %q", sol)
+		}
+	}
+	owner, survivor := srvA, srvB
+	if scrapeE2E(t, srvB.base, "satserved_solutions_total") > 0 {
+		owner, survivor = srvB, srvA
+	}
+	if scrapeE2E(t, survivor.base, "satserved_solutions_total") > 0 {
+		t.Fatal("both replicas served the baseline key: consistent hashing is not sticky")
+	}
+	if n := scrapeE2E(t, owner.base, "satserved_store_entries"); n < 1 {
+		t.Fatalf("owner parked no artifact in the shared store (entries = %v)", n)
+	}
+
+	// Kill the owner mid-stream; the fleet client retries through the
+	// proxy, which reroutes the key to the survivor.
+	t.Run("sigkill-owner-differential", func(t *testing.T) {
+		inj := faultinject.New(mustParseFleetPlan(t, "killpeer@sol=10"))
+		seed := int64(11)
+		cl := client.NewFleet([]string{proxy.base}, client.Config{
+			MaxAttempts: 6,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  time.Second,
+			MaxElapsed:  50 * time.Second,
+			OnSolution: func(total int) {
+				if _, death := inj.AdvanceSol(); death {
+					owner.cmd.Process.Kill()
+				}
+			},
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 55*time.Second)
+		defer cancel()
+		res, err := cl.Sample(ctx, client.Request{
+			DIMACS: dimacs, Target: nWant, Seed: &seed, Timeout: 50 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("fleet never converged past the owner's death: %v", err)
+		}
+		if res.Retries < 1 {
+			t.Fatalf("retries = %d: the kill never forced a reroute", res.Retries)
+		}
+		if len(res.Solutions) != nWant {
+			t.Fatalf("fleet delivered %d/%d solutions", len(res.Solutions), nWant)
+		}
+		for i := range res.Solutions {
+			if res.Solutions[i] != want[i] {
+				chaosDiff(t, res.Solutions, want)
+				t.Fatalf("zero-loss violated: rerouted stream diverges from the fault-free run at solution %d", i)
+			}
+		}
+		// The survivor came up cold on this key: its stream must have come
+		// off the shared store, not a recompile.
+		if n := scrapeE2E(t, survivor.base, "satserved_store_hits_total"); n < 1 {
+			t.Fatalf("satserved_store_hits_total = %v on the survivor, want >= 1 (adopter did not load warm)", n)
+		}
+		if n := scrapeE2E(t, proxy.base, "satsharded_replicas_up"); n != 1 {
+			t.Fatalf("satsharded_replicas_up = %v after the kill, want 1", n)
+		}
+	})
+
+	// The key-only path through the proxy: no body, just the content hash.
+	// The survivor holds the artifact (memory or store), so the fleet
+	// serves it without the client re-uploading the DIMACS.
+	t.Run("key-routed-no-body", func(t *testing.T) {
+		st := openFleet(t, proxy.base+"/v1/sample?key="+key+"&target=5&seed=11&timeout=30s", "")
+		sols, done := st.rest(t)
+		if len(sols) != 5 {
+			t.Fatalf("key-routed stream delivered %d/5 solutions", len(sols))
+		}
+		for i := range sols {
+			if sols[i] != want[i] {
+				t.Fatalf("key-routed stream diverges at solution %d", i)
+			}
+		}
+		if done.Delivered != 5 {
+			t.Fatalf("done line delivered = %d, want 5", done.Delivered)
+		}
+	})
+
+	// Fleet-aggregate metrics: the proxy page must carry the summed
+	// satserved_* series (the survivor's store hit included) and its own
+	// counters.
+	t.Run("aggregate-metrics", func(t *testing.T) {
+		if n := scrapeE2E(t, proxy.base, "satserved_store_hits_total"); n < 1 {
+			t.Fatalf("aggregate satserved_store_hits_total = %v, want >= 1", n)
+		}
+		if n := scrapeE2E(t, proxy.base, "satserved_solutions_total"); n < float64(nWant) {
+			t.Fatalf("aggregate satserved_solutions_total = %v, want >= %d", n, nWant)
+		}
+		if n := scrapeE2E(t, proxy.base, "satsharded_requests_total"); n < 2 {
+			t.Fatalf("satsharded_requests_total = %v, want >= 2", n)
+		}
+	})
+}

@@ -646,15 +646,22 @@ func (sn *Snapshot) MarshalBinary() ([]byte, error) {
 // snapDec decodes the binary format with sticky bounds-checked reads:
 // after any failed read, every subsequent read reports zero and err is
 // set, so decode paths need only one error check at natural boundaries.
+// base selects the sentinel failures wrap (nil = ErrBadSnapshot); the
+// problem codec shares the decoder under ErrBadProblem.
 type snapDec struct {
-	buf []byte
-	off int
-	err error
+	buf  []byte
+	off  int
+	err  error
+	base error
 }
 
 func (d *snapDec) fail(format string, args ...any) {
 	if d.err == nil {
-		d.err = fmt.Errorf("%w: "+format, append([]any{ErrBadSnapshot}, args...)...)
+		base := d.base
+		if base == nil {
+			base = ErrBadSnapshot
+		}
+		d.err = fmt.Errorf("%w: "+format, append([]any{base}, args...)...)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/sampling"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -506,6 +507,81 @@ func RunScale(ctx context.Context, instances []*benchgen.Instance, workers []int
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// CacheRow measures the durable compile tier on one instance: the cold
+// transform-and-compile path, the store-load path (hash + disk read + GDSP
+// decode through a fresh compiler), and the warm in-memory hit.
+type CacheRow struct {
+	Instance    string
+	Vars        int
+	Clauses     int
+	ColdCompile time.Duration
+	StoreLoad   time.Duration
+	WarmHit     time.Duration
+	BlobBytes   int64   // encoded artifact size on disk
+	Speedup     float64 // ColdCompile over StoreLoad
+}
+
+// RunCache measures cold-compile vs store-load vs warm-hit on the given
+// instances (the durable-tier PR's headline numbers, and the -checkcache
+// gate's data source). dir hosts the content-addressed artifacts; each
+// instance compiles cold through a store-less compiler, is encoded into the
+// store, then loads back through a fresh compiler whose only warm tier is
+// the disk — so the three arms isolate transform+compile, read+decode, and
+// LRU lookup. A load arm that fails to hit the disk tier drops its row
+// rather than report a compile time as a load time.
+func RunCache(ctx context.Context, instances []*benchgen.Instance, dir string, opt RunOptions) ([]CacheRow, error) {
+	opt = opt.withDefaults()
+	st, err := store.Open(dir, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CacheRow
+	for _, in := range instances {
+		if ctx.Err() != nil {
+			break
+		}
+		_, _, vars, clauses := in.Stats()
+		row := CacheRow{Instance: in.Name, Vars: vars, Clauses: clauses}
+
+		cold := sampling.NewCompiler(0)
+		t0 := time.Now()
+		p, err := cold.Compile(in.Formula)
+		if err != nil {
+			continue
+		}
+		row.ColdCompile = time.Since(t0)
+
+		blob, err := p.Core().MarshalBinary()
+		if err != nil {
+			continue
+		}
+		if err := st.Put(p.Core().Key(), blob); err != nil {
+			continue
+		}
+		row.BlobBytes = int64(len(blob))
+
+		loader := sampling.NewCompiler(0).WithStore(st)
+		t0 = time.Now()
+		if _, err := loader.Compile(in.Formula); err != nil {
+			continue
+		}
+		row.StoreLoad = time.Since(t0)
+		if cs := loader.Stats(); cs.DiskHits != 1 {
+			continue
+		}
+		t0 = time.Now()
+		if _, err := loader.Compile(in.Formula); err != nil {
+			continue
+		}
+		row.WarmHit = time.Since(t0)
+		if row.StoreLoad > 0 {
+			row.Speedup = float64(row.ColdCompile) / float64(row.StoreLoad)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // InstanceSummary describes an instance the way Table II's left columns do.

@@ -164,6 +164,26 @@ func RenderScale(w io.Writer, rows []ScaleRow) {
 	}
 }
 
+// RenderCache prints the durable-compile-tier comparison: cold compile vs
+// store load vs warm memory hit, with the artifact size and the headline
+// cold/load speedup.
+func RenderCache(w io.Writer, rows []CacheRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-22s %8s %9s | %12s %12s %12s %10s %8s\n",
+		"Instance", "vars", "clauses", "cold", "store-load", "warm-hit", "blob", "speedup")
+	fmt.Fprintln(w, strings.Repeat("-", 102))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8d %9d | %12s %12s %12s %9.1fK %7.1fx\n",
+			r.Instance, r.Vars, r.Clauses,
+			r.ColdCompile.Round(10*time.Microsecond),
+			r.StoreLoad.Round(10*time.Microsecond),
+			r.WarmHit.Round(time.Microsecond),
+			float64(r.BlobBytes)/(1<<10), r.Speedup)
+	}
+}
+
 func humanRate(v float64) string {
 	switch {
 	case v <= 0:

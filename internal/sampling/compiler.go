@@ -7,6 +7,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/store"
 )
 
 // HashFormula returns the content hash of a CNF — the cache key under
@@ -24,11 +25,14 @@ func HashFormula(f *cnf.Formula) string {
 // Entries whose compile has completed (in-flight entries contribute zero
 // until their artifact exists).
 type CompilerStats struct {
-	Hits          int64 // Compile calls served from cache (or an in-flight compile)
-	Misses        int64 // Compile calls that ran extract.Transform + core.Compile
+	Hits          int64 // Compile calls served from the memory cache (or an in-flight compile)
+	Misses        int64 // Compile calls that fell past the memory tier (disk load or full compile)
 	Evictions     int64 // entries dropped by the LRU policy
 	Entries       int   // problems currently cached (including in-flight)
 	ResidentBytes int64 // approximate bytes held by completed cached problems
+	DiskHits      int64 // artifacts decoded from the durable store instead of compiled
+	DiskMisses    int64 // store consultations that fell through to a full compile
+	DiskBytes     int64 // cumulative encoded bytes loaded from the durable store
 }
 
 // DefaultCacheCapacity is the Compiler's LRU capacity when none is given.
@@ -49,6 +53,16 @@ type Compiler struct {
 	misses     int64
 	evictions  int64
 	resident   int64 // sum of bytes over completed cached entries
+
+	// store, when set, is the durable second tier: memory miss → decode
+	// from disk → compile, with compiled artifacts written back so peers
+	// sharing the directory (and future restarts of this process) skip the
+	// compile entirely. Counters live under the same mu as the memory tier
+	// so Stats stays a single consistent snapshot.
+	store      *store.Store
+	diskHits   int64
+	diskMisses int64
+	diskBytes  int64
 }
 
 // cacheEntry is one cached (possibly in-flight) compilation. ready is
@@ -85,6 +99,15 @@ func NewCompilerBudget(capacity int, byteBudget int64) *Compiler {
 		lru:        list.New(),
 		byKey:      map[string]*list.Element{},
 	}
+}
+
+// WithStore attaches a durable store as the compiler's second tier and
+// returns the compiler for chaining. Call before the compiler is shared
+// across goroutines (it swaps an unguarded field); a nil store leaves the
+// compiler memory-only.
+func (c *Compiler) WithStore(s *store.Store) *Compiler {
+	c.store = s
+	return c
 }
 
 // evictLocked enforces both cache bounds, never evicting keep. Caller
@@ -146,7 +169,26 @@ func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	c.evictLocked(el)
 	c.mu.Unlock()
 
-	prob, err := compileProblem(f, key)
+	// Second tier: a peer (or a previous life of this process) may have
+	// already paid for this compile. Decode skips extraction and fusion,
+	// so a disk hit is a small fraction of a compile (see the -exp cache
+	// bench row). Still single-flight: the in-flight entry above is
+	// already registered, so concurrent callers wait on it either way.
+	var prob *Problem
+	var err error
+	if c.store != nil {
+		prob, _ = c.loadFromStore(key)
+	}
+	if prob == nil {
+		prob, err = compileProblem(f, key)
+		if err == nil && c.store != nil {
+			// Best-effort write-back: a full store or unwritable directory
+			// degrades to compile-every-time, it never fails the request.
+			if blob, merr := prob.core.MarshalBinary(); merr == nil {
+				c.store.Put(key, blob)
+			}
+		}
+	}
 
 	c.mu.Lock()
 	e.prob, e.err = prob, err
@@ -185,16 +227,27 @@ func residentEstimate(p *Problem) int64 {
 }
 
 // Lookup returns the cached Problem for a content-hash key without
-// compiling anything — the server's submit-by-key fast path. A present
-// entry counts as a hit and is refreshed in the LRU; a missing key (or one
-// whose compile failed) reports ok == false. Lookup blocks only when the
-// keyed compile is still in flight.
+// compiling anything — the server's submit-by-key fast path and the
+// resume leg's artifact resolution. A memory-resident entry counts as a
+// hit and is refreshed in the LRU; on a memory miss the durable store is
+// consulted (when attached), so a cold replica can serve a key-hit
+// without the client re-uploading the DIMACS body. Only a key absent
+// from both tiers (or whose cached compile failed) reports ok == false.
+// Lookup blocks only when the keyed compile is still in flight.
 func (c *Compiler) Lookup(key string) (prob *Problem, ok bool) {
 	c.mu.Lock()
 	el, found := c.byKey[key]
 	if !found {
 		c.mu.Unlock()
-		return nil, false
+		if c.store == nil {
+			return nil, false
+		}
+		prob, ok = c.loadFromStore(key)
+		if !ok {
+			return nil, false
+		}
+		c.installLoaded(key, prob)
+		return prob, true
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
@@ -207,6 +260,57 @@ func (c *Compiler) Lookup(key string) (prob *Problem, ok bool) {
 	return e.prob, true
 }
 
+// loadFromStore tries the durable tier for one key, counting the outcome.
+// A blob the trailer accepts but the GDSP decode rejects (foreign codec
+// version, misfiled key) is quarantined so it cannot shadow a recompile
+// forever.
+func (c *Compiler) loadFromStore(key string) (*Problem, bool) {
+	miss := func() (*Problem, bool) {
+		c.mu.Lock()
+		c.diskMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	blob, ok := c.store.Get(key)
+	if !ok {
+		return miss()
+	}
+	cp, err := core.DecodeProblem(blob)
+	if err != nil {
+		c.store.Quarantine(key, err.Error())
+		return miss()
+	}
+	if cp.Key() != key {
+		c.store.Quarantine(key, "artifact filed under a foreign key")
+		return miss()
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.diskBytes += int64(len(blob))
+	c.mu.Unlock()
+	return &Problem{key: key, formula: cp.Formula(), core: cp}, true
+}
+
+// installLoaded caches a store-loaded Problem as a completed entry so
+// subsequent Compiles and Lookups hit memory. Double-checked: a compile
+// or peer Lookup that registered the key first wins and this copy is
+// dropped (Problems are immutable and content-addressed, so either copy
+// serves identically).
+func (c *Compiler) installLoaded(key string, prob *Problem) {
+	e := &cacheEntry{key: key, ready: make(chan struct{}), prob: prob}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byKey[key]; exists {
+		return
+	}
+	el := c.lru.PushFront(e)
+	c.byKey[key] = el
+	e.bytes = residentEstimate(prob)
+	c.resident += e.bytes
+	c.evictLocked(el)
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Compiler) Stats() CompilerStats {
 	c.mu.Lock()
@@ -217,6 +321,9 @@ func (c *Compiler) Stats() CompilerStats {
 		Evictions:     c.evictions,
 		Entries:       c.lru.Len(),
 		ResidentBytes: c.resident,
+		DiskHits:      c.diskHits,
+		DiskMisses:    c.diskMisses,
+		DiskBytes:     c.diskBytes,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sampling"
+	"repro/internal/store"
 )
 
 // rateWindow is the sliding window (seconds) behind the sol/s gauge.
@@ -152,7 +153,7 @@ func (m *metrics) shedTotalLocked() int64 {
 // other components (queue, compiler, memory ledger) are passed in so one
 // call renders a single consistent page.
 func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget int64,
-	cs sampling.CompilerStats, draining bool,
+	cs sampling.CompilerStats, ss store.Stats, draining bool,
 	spoolEntries int, spoolBytes, spoolEvictions, spoolCorrupt int64) {
 	now := time.Now()
 	fmt.Fprintf(w, "# TYPE satserved_uptime_seconds counter\n")
@@ -235,4 +236,22 @@ func (m *metrics) Write(w io.Writer, queueDepth, active int, reserved, budget in
 	fmt.Fprintf(w, "satserved_compiler_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "# TYPE satserved_compiler_resident_bytes gauge\n")
 	fmt.Fprintf(w, "satserved_compiler_resident_bytes %d\n", cs.ResidentBytes)
+
+	// The durable compile tier. Hits/misses/bytes are the compiler's disk
+	// consultations; entries/bytes/evictions/quarantined are the store's
+	// own view of the shared directory. All zero when no -store is mounted.
+	fmt.Fprintf(w, "# TYPE satserved_store_hits_total counter\n")
+	fmt.Fprintf(w, "satserved_store_hits_total %d\n", cs.DiskHits)
+	fmt.Fprintf(w, "# TYPE satserved_store_misses_total counter\n")
+	fmt.Fprintf(w, "satserved_store_misses_total %d\n", cs.DiskMisses)
+	fmt.Fprintf(w, "# TYPE satserved_store_loaded_bytes_total counter\n")
+	fmt.Fprintf(w, "satserved_store_loaded_bytes_total %d\n", cs.DiskBytes)
+	fmt.Fprintf(w, "# TYPE satserved_store_entries gauge\n")
+	fmt.Fprintf(w, "satserved_store_entries %d\n", ss.Entries)
+	fmt.Fprintf(w, "# TYPE satserved_store_bytes gauge\n")
+	fmt.Fprintf(w, "satserved_store_bytes %d\n", ss.Bytes)
+	fmt.Fprintf(w, "# TYPE satserved_store_evictions_total counter\n")
+	fmt.Fprintf(w, "satserved_store_evictions_total %d\n", ss.Evictions)
+	fmt.Fprintf(w, "# TYPE satserved_store_quarantined_total counter\n")
+	fmt.Fprintf(w, "satserved_store_quarantined_total %d\n", ss.Quarantined)
 }

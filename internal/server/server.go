@@ -53,6 +53,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/faultinject"
 	"repro/internal/sampling"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// Compiler is the shared compile cache. Nil builds a fresh one with
 	// the default capacity.
 	Compiler *sampling.Compiler
+	// Store, when set, is the durable compile tier: the compiler falls
+	// through its memory LRU to this content-addressed artifact store
+	// before compiling, and writes freshly compiled artifacts back. Point
+	// every replica of a fleet at one shared directory and each formula
+	// compiles once fleet-wide; a restarted replica comes back warm. Store
+	// stats ride on /metrics as satserved_store_*.
+	Store *store.Store
 	// Device executes GD batches (default: all CPUs).
 	Device tensor.Device
 	// Workers bounds concurrently streaming sessions (default 4). Each
@@ -139,6 +147,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Compiler == nil {
 		c.Compiler = sampling.NewCompiler(0)
+	}
+	if c.Store != nil {
+		c.Compiler.WithStore(c.Store)
 	}
 	if c.Device.Workers() < 1 {
 		c.Device = tensor.Parallel()
@@ -1039,8 +1050,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.memMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	spoolEntries, spoolBytes, spoolEvictions, spoolCorrupt := s.spool.Stats()
+	var ss store.Stats
+	if s.cfg.Store != nil {
+		ss = s.cfg.Store.Stats()
+	}
 	s.met.Write(w, s.queue.Depth(), s.queue.Active(), reserved, s.cfg.MemoryBudget,
-		s.compiler.Stats(), s.draining.Load(),
+		s.compiler.Stats(), ss, s.draining.Load(),
 		spoolEntries, spoolBytes, spoolEvictions, spoolCorrupt)
 }
 
