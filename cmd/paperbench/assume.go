@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgen"
+	"repro/internal/harness"
+)
+
+// Gates for -checkassume, the assumption-specialization regression floor.
+// The timing claim — re-specializing a compiled artifact beats compiling
+// from scratch decisively — must hold on at least two Table II instances
+// (tiny smoke instances compile in microseconds, where fixed costs drown
+// the win, so the gate reads the big ones). The conditioned quality claim
+// reuses the unconditioned gate's floors: on every exactly-countable
+// conditioned space the specialized sampler must find all models and pass
+// the bounded uniformity smoke.
+const (
+	assumeSpeedupFloor     = 5.0
+	assumeSpeedupInstances = 2
+	assumeCoverageFloor    = 1.0
+	assumePFloor           = 1e-3
+)
+
+// runAssume measures assumption specialization over the Table II timing
+// instances plus the exactly-countable quality suite (which exercises the
+// conditioned-quality leg the big instances are too large for). With
+// check set it enforces the -checkassume gates.
+func runAssume(ctx context.Context, timing []*benchgen.Instance, opt harness.RunOptions, check bool) ([]harness.AssumeRow, bool) {
+	fmt.Println("== Assume: re-specialization vs cold compile, conditioned quality ==")
+	fmt.Println()
+	ins := append(append([]*benchgen.Instance{}, timing...), benchgen.QualitySuite()...)
+	rows := harness.RunAssume(ctx, ins, opt)
+	harness.RenderAssume(os.Stdout, rows)
+	if !check || ctx.Err() != nil {
+		return rows, true
+	}
+
+	timingSet := map[string]bool{}
+	for _, in := range timing {
+		timingSet[in.Name] = true
+	}
+	ok := true
+	fast, measured := 0, 0
+	for _, r := range rows {
+		if timingSet[r.Instance] && r.Speedup >= assumeSpeedupFloor {
+			fast++
+		}
+		if !r.QualityMeasured {
+			continue
+		}
+		measured++
+		if r.Coverage < assumeCoverageFloor {
+			fmt.Fprintf(os.Stderr, "paperbench: assume: %s: conditioned coverage %.4f below floor %.4f (%d/%.0f models)\n",
+				r.Instance, r.Coverage, assumeCoverageFloor, r.Distinct, r.Exact)
+			ok = false
+		}
+		if r.P < assumePFloor {
+			fmt.Fprintf(os.Stderr, "paperbench: assume: %s: conditioned uniformity p=%.3g below floor %.3g (chi2=%.1f, dof=%d)\n",
+				r.Instance, r.P, assumePFloor, r.ChiSquare, r.DoF)
+			ok = false
+		}
+	}
+	if fast < assumeSpeedupInstances {
+		fmt.Fprintf(os.Stderr, "paperbench: assume: only %d instances specialized %.0fx faster than cold compile, need >= %d\n",
+			fast, assumeSpeedupFloor, assumeSpeedupInstances)
+		ok = false
+	}
+	if measured < 2 {
+		fmt.Fprintf(os.Stderr, "paperbench: -checkassume needs at least two conditioned-quality instances, got %d\n", measured)
+		ok = false
+	}
+	return rows, ok
+}

@@ -11,6 +11,7 @@
 //	paperbench -exp cache             # durable compile tier: cold compile vs store load vs warm hit
 //	paperbench -exp serve             # satserved load generator: p50/p99 latency, sol/s vs clients
 //	paperbench -exp quality           # exact-count coverage + chi-square uniformity oracle
+//	paperbench -exp assume            # assumption specialization: re-specialize vs cold compile + conditioned quality
 //	paperbench -exp all               # everything
 //
 // Flags -target, -timeout, -workers scale effort; the defaults finish in
@@ -27,7 +28,11 @@
 // regression gate for the multi-core tick. -checkcache exits non-zero
 // unless loading a stored problem beats cold compilation by at least 5x
 // on at least two instances — the regression gate for the GDSP codec and
-// the durable compile tier.
+// the durable compile tier. -checkassume exits non-zero unless
+// re-specializing a compiled artifact under pinned literals beats cold
+// compilation 5x on at least two Table II instances AND the specialized
+// sampler achieves full conditioned coverage plus the uniformity smoke on
+// the exactly-countable suite — the regression gate for ?assume=.
 //
 // All experiments share one sampling.Compiler, so each instance is
 // transformed and engine-compiled once for the whole run (fig3, fig4 and
@@ -63,16 +68,17 @@ type report struct {
 	Workers int    `json:"workers"`
 	// HostCPUs is runtime.NumCPU() on the measuring host — the context a
 	// scale curve must be read in (a 1-CPU runner measures a flat curve).
-	HostCPUs int                    `json:"host_cpus"`
-	GoOS     string                 `json:"goos"`
-	GoArch   string                 `json:"goarch"`
-	Table2   []harness.Table2Row    `json:"table2,omitempty"`
-	Scale    []harness.ScaleRow     `json:"scale,omitempty"`
-	Sched    []harness.SchedRow     `json:"sched,omitempty"`
-	Serve    []ServeRow             `json:"serve,omitempty"`
-	Quality  []QualityRow           `json:"quality,omitempty"`
-	Fig2     []harness.Fig2Point    `json:"fig2,omitempty"`
-	Fig4     []harness.Fig4Row      `json:"fig4,omitempty"`
+	HostCPUs int                 `json:"host_cpus"`
+	GoOS     string              `json:"goos"`
+	GoArch   string              `json:"goarch"`
+	Table2   []harness.Table2Row `json:"table2,omitempty"`
+	Scale    []harness.ScaleRow  `json:"scale,omitempty"`
+	Sched    []harness.SchedRow  `json:"sched,omitempty"`
+	Serve    []ServeRow          `json:"serve,omitempty"`
+	Quality  []QualityRow        `json:"quality,omitempty"`
+	Assume   []harness.AssumeRow `json:"assume,omitempty"`
+	Fig2     []harness.Fig2Point `json:"fig2,omitempty"`
+	Fig4     []harness.Fig4Row   `json:"fig4,omitempty"`
 	// CacheTier is the durable-compile-tier comparison (-exp cache);
 	// Cache is the shared in-memory compile cache's counters for the run.
 	CacheTier []harness.CacheRow     `json:"cache_tier,omitempty"`
@@ -81,18 +87,19 @@ type report struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table2 | scale | fig2 | fig3 | fig4 | engine | sched | serve | quality | cache | all")
-		target     = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
-		timeout    = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
-		small      = flag.Bool("small", false, "use the fast 4-instance smoke suite")
-		jsonPath   = flag.String("json", "", "write machine-readable results to this file")
-		checkSched = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
-		checkScale = flag.Bool("checkscale", false, "with -exp scale: fail unless the 4-worker arm reaches 3x on at least two instances (skipped below 4 host CPUs) and all streams stay identical")
-		checkQual  = flag.Bool("checkquality", false, "with -exp quality: fail unless every exact-counted instance hits full coverage and passes the uniformity smoke")
-		checkCache = flag.Bool("checkcache", false, "with -exp cache: fail unless store load beats cold compile 5x on at least two instances")
-		maxCNF     = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
+		exp         = flag.String("exp", "all", "experiment: table2 | scale | fig2 | fig3 | fig4 | engine | sched | serve | quality | cache | assume | all")
+		target      = flag.Int("target", 1000, "minimum unique solutions per sampler (paper: 1000)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-sampler per-instance timeout (paper: 2h)")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of text tables")
+		small       = flag.Bool("small", false, "use the fast 4-instance smoke suite")
+		jsonPath    = flag.String("json", "", "write machine-readable results to this file")
+		checkSched  = flag.Bool("checksched", false, "with -exp sched: fail unless continuous sol/s >= round sol/s on the small smoke instances")
+		checkScale  = flag.Bool("checkscale", false, "with -exp scale: fail unless the 4-worker arm reaches 3x on at least two instances (skipped below 4 host CPUs) and all streams stay identical")
+		checkQual   = flag.Bool("checkquality", false, "with -exp quality: fail unless every exact-counted instance hits full coverage and passes the uniformity smoke")
+		checkCache  = flag.Bool("checkcache", false, "with -exp cache: fail unless store load beats cold compile 5x on at least two instances")
+		checkAssume = flag.Bool("checkassume", false, "with -exp assume: fail unless specialization beats cold compile 5x on at least two Table II instances and conditioned quality holds")
+		maxCNF      = flag.Int64("maxcnf", 8<<20, "with -exp serve: maximum DIMACS input bytes for the in-process server (0 = the service default limits)")
 	)
 	flag.Parse()
 
@@ -130,7 +137,7 @@ func main() {
 
 	rep.HostCPUs = runtime.NumCPU()
 
-	schedOK, serveOK, qualOK, scaleOK, cacheOK := true, true, true, true, true
+	schedOK, serveOK, qualOK, scaleOK, cacheOK, assumeOK := true, true, true, true, true, true
 	switch *exp {
 	case "table2":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
@@ -152,6 +159,8 @@ func main() {
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 	case "quality":
 		rep.Quality, qualOK = runQuality(ctx, compiler, dev, *checkQual)
+	case "assume":
+		rep.Assume, assumeOK = runAssume(ctx, table2Set(), opt, *checkAssume)
 	case "all":
 		rep.Table2 = runTable2(ctx, table2Set(), opt, *csv)
 		fmt.Println()
@@ -170,6 +179,8 @@ func main() {
 		rep.Serve, serveOK = runServe(ctx, compiler, dev, min(*target, 200), *maxCNF)
 		fmt.Println()
 		rep.Quality, qualOK = runQuality(ctx, compiler, dev, *checkQual)
+		fmt.Println()
+		rep.Assume, assumeOK = runAssume(ctx, table2Set(), opt, *checkAssume)
 		fmt.Println()
 		runEngine(ctx, figSet(), compiler, dev)
 	default:
@@ -206,6 +217,10 @@ func main() {
 	}
 	if !cacheOK {
 		fmt.Fprintln(os.Stderr, "paperbench: cache check FAILED — store load not decisively faster than cold compilation")
+		os.Exit(1)
+	}
+	if !assumeOK {
+		fmt.Fprintln(os.Stderr, "paperbench: assume check FAILED — specialization speedup or conditioned quality below the gate")
 		os.Exit(1)
 	}
 }

@@ -249,13 +249,23 @@ func (p *proxy) candidates(key, preferred string) []string {
 	return append(out, down...)
 }
 
-// routeKey derives the request's problem key: ?key= verbatim, else the
-// content hash of the posted DIMACS with ?project= folded in — the exact
-// identity the replica will compute. A body the proxy cannot parse routes
+// routeKey derives the request's problem key: ?key= (with ?assume= folded
+// in via cnf.AssumeKey, the same derivation the replica's compiler uses),
+// else the content hash of the posted DIMACS with ?project= and ?assume=
+// folded in — the exact identity the replica will compute, so a
+// specialized artifact is owned by one replica no matter how the request
+// arrives. A body or assumption spec the proxy cannot parse routes
 // keyless; the replica owns the error reply.
 func (p *proxy) routeKey(r *http.Request, body []byte) string {
+	assume, aerr := parseAssume(strings.TrimSpace(r.URL.Query().Get("assume")))
+	if aerr != nil {
+		return ""
+	}
+	fold := func(base string) string {
+		return cnf.AssumeKey(base, cnf.CanonicalAssume(assume))
+	}
 	if key := r.URL.Query().Get("key"); key != "" {
-		return key
+		return fold(key)
 	}
 	if len(body) == 0 {
 		return ""
@@ -273,7 +283,30 @@ func (p *proxy) routeKey(r *http.Request, body []byte) string {
 			f.Projection = vars
 		}
 	}
-	return sampling.HashFormula(f)
+	return fold(sampling.HashFormula(f))
+}
+
+// parseAssume mirrors the server's ?assume= grammar: JSON array of signed
+// literals or comma list.
+func parseAssume(spec string) ([]cnf.Lit, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "[") {
+		var raw []int
+		if err := json.Unmarshal([]byte(spec), &raw); err != nil {
+			return nil, err
+		}
+		lits := make([]cnf.Lit, len(raw))
+		for i, v := range raw {
+			if v == 0 {
+				return nil, fmt.Errorf("assumption literal 0")
+			}
+			lits[i] = cnf.Lit(v)
+		}
+		return lits, nil
+	}
+	return cnf.ParseAssumeList(spec)
 }
 
 // parseProjection mirrors the server's ?project= grammar: JSON array or

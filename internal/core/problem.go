@@ -24,6 +24,10 @@ type Problem struct {
 	verify  *bitblast.Program
 	tile    int
 	key     string // cnf.Formula.ContentHash — the snapshot/cache identity
+	// assume is the canonical assumption set this problem was specialized
+	// under (nil when unspecialized); key is then
+	// cnf.AssumeKey(formula.ContentHash(), assume). See specialize.go.
+	assume []cnf.Lit
 }
 
 // Compile lowers a transformation result into a shareable Problem: it
@@ -40,17 +44,23 @@ func Compile(f *cnf.Formula, ext *extract.Result) (*Problem, error) {
 		verify:  ext.Verifier(f),
 		key:     f.ContentHash(),
 	}
-	// Tile rows so one worker's full forward+backward working set
-	// (vals + adjoints) stays cache-resident regardless of batch size.
-	const tileTargetBytes = 512 << 10
-	p.tile = tileTargetBytes / (4 * (p.eng.numSlots + p.eng.numGregs))
-	if p.tile < 32 {
-		p.tile = 32
-	}
-	if p.tile > 512 {
-		p.tile = 512
-	}
+	p.tile = tileFor(p.eng)
 	return p, nil
+}
+
+// tileFor sizes the cache tile (rows per worker pass) so one worker's full
+// forward+backward working set (vals + adjoints) stays cache-resident
+// regardless of batch size.
+func tileFor(e *engine) int {
+	const tileTargetBytes = 512 << 10
+	tile := tileTargetBytes / (4 * (e.numSlots + e.numGregs))
+	if tile < 32 {
+		tile = 32
+	}
+	if tile > 512 {
+		tile = 512
+	}
+	return tile
 }
 
 // CompileCNF transforms f with extract.Transform and compiles the result.
@@ -88,9 +98,18 @@ func (p *Problem) NewSampler(cfg Config) (*Sampler, error) {
 }
 
 // AssignmentFromInputs expands a primary-input solution into a dense CNF
-// assignment (assign[v-1] = value of CNF variable v).
+// assignment (assign[v-1] = value of CNF variable v). On a specialized
+// problem, assumptions on variables without circuit support override the
+// nodeless default-false convention — everything with a node is already
+// forced by the folded constants and constraints.
 func (p *Problem) AssignmentFromInputs(sol []bool) []bool {
-	return p.ext.AssignmentFromInputs(p.formula.NumVars, sol)
+	assign := p.ext.AssignmentFromInputs(p.formula.NumVars, sol)
+	for _, l := range p.assume {
+		if _, ok := p.ext.NodeOf[l.Var()]; !ok {
+			assign[l.Var()-1] = l.Positive()
+		}
+	}
+	return assign
 }
 
 // OutputWeights aggregates per-clause loss weights onto the engine's

@@ -44,10 +44,18 @@ import (
 // Problems stream bit-identical solutions to freshly compiled ones (the
 // differential test in problem_codec_test.go and e2e shard tier).
 
-// ProblemVersion is the current problem codec version. Decode rejects any
-// other version: stored artifacts outlive the process that wrote them, so
-// silent cross-version reinterpretation is never acceptable.
-const ProblemVersion = 1
+// ProblemVersion is the current problem codec version. Version 1 is the
+// unspecialized format; version 2 adds an assumption section directly
+// after the key (see specialize.go) and is only written when the problem
+// carries assumptions, so every unspecialized artifact stays byte-for-byte
+// a version-1 blob that older readers accept. Decode accepts both; any
+// other version is rejected — stored artifacts outlive the process that
+// wrote them, so silent cross-version reinterpretation is never
+// acceptable.
+const ProblemVersion = 2
+
+// problemVersionBase is the assumption-free encoding version.
+const problemVersionBase = 1
 
 // problemMagic opens every encoded problem.
 var problemMagic = [4]byte{'G', 'D', 'S', 'P'}
@@ -85,8 +93,18 @@ func (p *Problem) MarshalBinary() ([]byte, error) {
 	e := &snapEnc{buf: make([]byte, 0, est)}
 
 	e.buf = append(e.buf, problemMagic[:]...)
-	e.u16(ProblemVersion)
-	e.str(p.key)
+	if len(p.assume) == 0 {
+		e.u16(problemVersionBase)
+		e.str(p.key)
+	} else {
+		e.u16(ProblemVersion)
+		e.str(p.key)
+		e.u32(uint32(len(p.assume)))
+		raw := e.grow(4 * len(p.assume))
+		for i, l := range p.assume {
+			binary.LittleEndian.PutUint32(raw[4*i:], uint32(int32(l)))
+		}
+	}
 
 	// Formula.
 	e.u32(uint32(f.NumVars))
@@ -207,10 +225,26 @@ func DecodeProblem(data []byte) (*Problem, error) {
 		return nil, fmt.Errorf("%w: integrity trailer mismatch (corrupted or truncated)", ErrBadProblem)
 	}
 	d := &snapDec{buf: body, off: 4, base: ErrBadProblem}
-	if v := d.u16(); d.err == nil && v != ProblemVersion {
-		return nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrBadProblem, v, ProblemVersion)
+	ver := d.u16()
+	if d.err == nil && ver != problemVersionBase && ver != ProblemVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads versions %d-%d)", ErrBadProblem, ver, problemVersionBase, ProblemVersion)
 	}
 	key := d.str()
+	var assume []cnf.Lit
+	if ver == ProblemVersion {
+		na := d.count(4, "assumptions")
+		raw := d.take(4 * na)
+		if d.err != nil {
+			return nil, d.err
+		}
+		if na == 0 {
+			return nil, fmt.Errorf("%w: version %d blob with no assumptions (canonical form is version %d)", ErrBadProblem, ver, problemVersionBase)
+		}
+		assume = make([]cnf.Lit, na)
+		for i := range assume {
+			assume[i] = cnf.Lit(int32(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+	}
 
 	f := decodeFormula(d)
 	circ := decodeCircuit(d, f)
@@ -223,22 +257,30 @@ func DecodeProblem(data []byte) (*Problem, error) {
 	if d.off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadProblem, len(body)-d.off)
 	}
+	// Assumptions must arrive in canonical, validated form — decode refuses
+	// to "fix" a non-canonical set because the key cross-check below hashes
+	// exactly what the writer canonicalized.
+	if len(assume) > 0 {
+		if err := cnf.ValidateAssumptions(f.NumVars, assume); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
+		}
+		for i := 1; i < len(assume); i++ {
+			if assume[i].Var() <= assume[i-1].Var() {
+				return nil, fmt.Errorf("%w: assumption list not canonical at entry %d", ErrBadProblem, i)
+			}
+		}
+	}
 	// The content-address cross-check: the blob serves exactly the formula
-	// its key names, or it serves nothing.
-	if h := f.ContentHash(); h != key {
-		return nil, fmt.Errorf("%w: embedded formula hashes to %s, key says %s", ErrBadProblem, abbrev(h), abbrev(key))
+	// (specialized under exactly the assumptions) its key names, or it
+	// serves nothing. AssumeKey degenerates to the content hash when the
+	// assumption set is empty, so one check covers both versions.
+	if h := cnf.AssumeKey(f.ContentHash(), assume); h != key {
+		return nil, fmt.Errorf("%w: embedded content hashes to %s, key says %s", ErrBadProblem, abbrev(h), abbrev(key))
 	}
 
-	p := &Problem{formula: f, ext: ext, eng: eng, verify: verify, key: key}
+	p := &Problem{formula: f, ext: ext, eng: eng, verify: verify, key: key, assume: assume}
 	// The tile is derived state: recompute it exactly as Compile does.
-	const tileTargetBytes = 512 << 10
-	p.tile = tileTargetBytes / (4 * (eng.numSlots + eng.numGregs))
-	if p.tile < 32 {
-		p.tile = 32
-	}
-	if p.tile > 512 {
-		p.tile = 512
-	}
+	p.tile = tileFor(eng)
 	return p, nil
 }
 

@@ -184,6 +184,29 @@ func RenderCache(w io.Writer, rows []CacheRow) {
 	}
 }
 
+// RenderAssume prints the assumption-specialization comparison: cold
+// compile vs re-specialization of the compiled artifact, with the
+// conditioned quality columns on instances the exact oracle could count.
+func RenderAssume(w io.Writer, rows []AssumeRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-22s %8s %9s %5s | %12s %12s %8s | %8s %9s %10s\n",
+		"Instance", "vars", "clauses", "pins", "cold", "specialize", "speedup", "exact", "coverage", "p")
+	fmt.Fprintln(w, strings.Repeat("-", 118))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8d %9d %5d | %12s %12s %7.1fx | ",
+			r.Instance, r.Vars, r.Clauses, r.Pins,
+			r.ColdCompile.Round(10*time.Microsecond),
+			r.Specialize.Round(time.Microsecond), r.Speedup)
+		if r.QualityMeasured {
+			fmt.Fprintf(w, "%8.0f %9.3f %10.3g\n", r.Exact, r.Coverage, r.P)
+		} else {
+			fmt.Fprintf(w, "%8s %9s %10s\n", "-", "-", "-")
+		}
+	}
+}
+
 func humanRate(v float64) string {
 	switch {
 	case v <= 0:

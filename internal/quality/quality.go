@@ -127,6 +127,25 @@ func ExactCount(f *cnf.Formula, projection []int, lim CountLimits) (float64, err
 	return m.SatCount(proj) / math.Pow(2, float64(free)), nil
 }
 
+// ExactCountAssume is the conditioned oracle: the exact number of models
+// of f that agree with the assumption literals, projected onto the given
+// variables. It counts the hand-conditioned CNF (cnf.Formula.Condition),
+// so a specialized sampler gated against it is being measured against
+// ground truth derived independently of the specialization machinery —
+// the same separation the unconditioned gate gets from counting the CNF
+// rather than the circuit. Invalid assumptions return the validation
+// error; an assumption set that empties the space counts 0, not an error.
+func ExactCountAssume(f *cnf.Formula, projection []int, assume []cnf.Lit, lim CountLimits) (float64, error) {
+	if len(assume) == 0 {
+		return ExactCount(f, projection, lim)
+	}
+	cond, err := f.Condition(assume)
+	if err != nil {
+		return 0, err
+	}
+	return ExactCount(cond, projection, lim)
+}
+
 // Coverage returns the fraction of an exact solution space a sampler
 // observed: distinct / exact (0 when the space is empty or unknown).
 func Coverage(distinct int, exact float64) float64 {

@@ -68,6 +68,42 @@ func TestExactCountProjected(t *testing.T) {
 	}
 }
 
+func TestExactCountAssume(t *testing.T) {
+	cases := []struct {
+		in     string
+		proj   []int
+		assume []cnf.Lit
+		want   float64
+	}{
+		// x1 ∨ x2 given x1: x2 free.
+		{"p cnf 2 1\n1 2 0\n", nil, []cnf.Lit{1}, 2},
+		// x1 ∨ x2 given ¬x1: only x2.
+		{"p cnf 2 1\n1 2 0\n", nil, []cnf.Lit{-1}, 1},
+		// 7^4 instance given one pinned clause-satisfier: 7^3 × 4 (the
+		// pinned clause still has 2^2 free settings of its other two vars).
+		{"p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", nil, []cnf.Lit{1}, 4 * 343},
+		// Same instance projected, given the first projected var true.
+		{"p cnf 12 4\n1 2 3 0\n4 5 6 0\n7 8 9 0\n10 11 12 0\n", []int{1, 4, 7, 10}, []cnf.Lit{1}, 8},
+		// Contradicting the only clause: zero, not an error.
+		{"p cnf 2 1\n1 2 0\n", nil, []cnf.Lit{-1, -2}, 0},
+		// Empty assumption set falls through to ExactCount.
+		{"p cnf 2 1\n1 2 0\n", nil, nil, 3},
+	}
+	for _, tc := range cases {
+		got, err := quality.ExactCountAssume(mustParse(t, tc.in), tc.proj, tc.assume, quality.CountLimits{})
+		if err != nil {
+			t.Fatalf("%q assume %v: %v", tc.in, tc.assume, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q assume %v: count %v, want %v", tc.in, tc.assume, got, tc.want)
+		}
+	}
+	if _, err := quality.ExactCountAssume(mustParse(t, "p cnf 2 1\n1 2 0\n"), nil,
+		[]cnf.Lit{5}, quality.CountLimits{}); err == nil {
+		t.Error("out-of-range assumption was accepted")
+	}
+}
+
 func TestExactCountLimits(t *testing.T) {
 	f := mustParse(t, "p cnf 2 1\n1 2 0\n")
 	if _, err := quality.ExactCount(f, nil, quality.CountLimits{MaxVars: 1}); !errors.Is(err, quality.ErrTooLarge) {

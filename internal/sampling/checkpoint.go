@@ -10,16 +10,22 @@ package sampling
 // embedded text when cold), restore, and the stream continues at exactly
 // the next undelivered solution.
 //
-// Envelope ("GDSC", version 1, little-endian, length-prefixed):
+// Envelope ("GDSC", little-endian, length-prefixed):
 //
 //	magic "GDSC" | u16 version | str name | u64 delivered | u32 stale
-//	| str formula (DIMACS) | bytes core snapshot | sha256 digest
+//	| str formula (DIMACS) | [v2: bytes assumptions] | bytes core snapshot
+//	| sha256 digest
 //
-// where str/bytes are u32 length + payload. The trailing SHA-256 covers
-// every preceding byte, so any truncation or flip — including inside the
-// embedded core blob, which carries its own CRC — is rejected before any
-// field is interpreted. Decoding never panics; every failure wraps
-// ErrBadCheckpoint. Encoding is canonical: decode→encode is byte-identical.
+// where str/bytes are u32 length + payload. Version 1 is the
+// assumption-free envelope; version 2 adds the session's assumption
+// literals (i32 each) between the formula and the snapshot and is only
+// written when the session's problem carries assumptions, so every
+// unassumed checkpoint stays a version-1 envelope older readers accept.
+// The trailing SHA-256 covers every preceding byte, so any truncation or
+// flip — including inside the embedded core blob, which carries its own
+// CRC — is rejected before any field is interpreted. Decoding never
+// panics; every failure wraps ErrBadCheckpoint. Encoding is canonical:
+// decode→encode is byte-identical.
 
 import (
 	"bytes"
@@ -33,8 +39,13 @@ import (
 	"repro/internal/tensor"
 )
 
-// CheckpointVersion is the envelope format version this build writes.
-const CheckpointVersion = 1
+// CheckpointVersion is the envelope format version this build writes for
+// sessions over a specialized problem; assumption-free sessions encode as
+// checkpointVersionBase for backward compatibility.
+const CheckpointVersion = 2
+
+// checkpointVersionBase is the assumption-free envelope version.
+const checkpointVersionBase = 1
 
 // ErrBadCheckpoint is wrapped by every checkpoint decode/restore failure:
 // corrupt or truncated envelopes, version or digest mismatches, and
@@ -50,15 +61,26 @@ type Checkpoint struct {
 	delivered int
 	stale     int
 	formula   *cnf.Formula
+	assume    []cnf.Lit
 	snap      *core.Snapshot
 }
 
 // Name returns the checkpointed session's name.
 func (c *Checkpoint) Name() string { return c.name }
 
-// Key returns the content hash identifying the formula this checkpoint
-// belongs to (equal to HashFormula of the embedded formula).
+// Key returns the content hash identifying the compiled artifact this
+// checkpoint belongs to: HashFormula of the embedded formula, folded with
+// the assumption set when present (cnf.AssumeKey).
 func (c *Checkpoint) Key() string { return c.snap.Key() }
+
+// Assumptions returns the assumption literals the checkpointed session's
+// problem was specialized under (nil for an unassumed session).
+func (c *Checkpoint) Assumptions() []cnf.Lit {
+	if len(c.assume) == 0 {
+		return nil
+	}
+	return append([]cnf.Lit(nil), c.assume...)
+}
 
 // Delivered returns the stream cursor: how many solutions the session had
 // already handed to its sink when the checkpoint was taken.
@@ -84,19 +106,32 @@ func (s *Session) Checkpoint() ([]byte, error) {
 		return nil, err
 	}
 	text := s.prob.formula.DIMACSString()
+	assume := s.prob.core.Assumptions()
+	version := uint16(checkpointVersionBase)
+	if len(assume) > 0 {
+		version = CheckpointVersion
+	}
 	n := 4 + 2 + // magic, version
 		4 + len(s.name) +
 		8 + 4 + // delivered, stale
 		4 + len(text) +
+		4 + 4*len(assume) +
 		4 + len(blob) +
 		sha256.Size
 	buf := make([]byte, 0, n)
 	buf = append(buf, checkpointMagic[:]...)
-	buf = binary.LittleEndian.AppendUint16(buf, CheckpointVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = appendBlock(buf, []byte(s.name))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.delivered))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.stale))
 	buf = appendBlock(buf, []byte(text))
+	if len(assume) > 0 {
+		lits := make([]byte, 4*len(assume))
+		for i, l := range assume {
+			binary.LittleEndian.PutUint32(lits[4*i:], uint32(int32(l)))
+		}
+		buf = appendBlock(buf, lits)
+	}
 	buf = appendBlock(buf, blob)
 	sum := sha256.Sum256(buf)
 	return append(buf, sum[:]...), nil
@@ -126,8 +161,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if [4]byte(body[:4]) != checkpointMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	if v := binary.LittleEndian.Uint16(body[4:6]); v != CheckpointVersion {
-		return nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrBadCheckpoint, v, CheckpointVersion)
+	version := binary.LittleEndian.Uint16(body[4:6])
+	if version != checkpointVersionBase && version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads versions %d-%d)", ErrBadCheckpoint, version, checkpointVersionBase, CheckpointVersion)
 	}
 	rest := body[6:]
 	name, rest, err := takeBlock(rest, "session name")
@@ -143,6 +179,21 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	text, rest, err := takeBlock(rest, "formula")
 	if err != nil {
 		return nil, err
+	}
+	var assume []cnf.Lit
+	if version == CheckpointVersion {
+		raw, r, err := takeBlock(rest, "assumptions")
+		if err != nil {
+			return nil, err
+		}
+		rest = r
+		if len(raw) == 0 || len(raw)%4 != 0 {
+			return nil, fmt.Errorf("%w: assumption block of %d bytes (want a non-empty multiple of 4)", ErrBadCheckpoint, len(raw))
+		}
+		assume = make([]cnf.Lit, len(raw)/4)
+		for i := range assume {
+			assume[i] = cnf.Lit(int32(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
 	}
 	blob, rest, err := takeBlock(rest, "core snapshot")
 	if err != nil {
@@ -165,8 +216,20 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	if key := HashFormula(f); key != snap.Key() {
-		return nil, fmt.Errorf("%w: embedded formula hashes to %.12s but snapshot is keyed %.12s", ErrBadCheckpoint, key, snap.Key())
+	if len(assume) > 0 {
+		if err := cnf.ValidateAssumptions(f.NumVars, assume); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+		for i := 1; i < len(assume); i++ {
+			if assume[i].Var() <= assume[i-1].Var() {
+				return nil, fmt.Errorf("%w: assumption list not canonical at entry %d", ErrBadCheckpoint, i)
+			}
+		}
+	}
+	// AssumeKey degenerates to the content hash for an empty assumption
+	// set, so one cross-check covers both envelope versions.
+	if key := cnf.AssumeKey(HashFormula(f), assume); key != snap.Key() {
+		return nil, fmt.Errorf("%w: embedded content hashes to %.12s but snapshot is keyed %.12s", ErrBadCheckpoint, key, snap.Key())
 	}
 	if delivered > uint64(snap.UniqueCount()) {
 		return nil, fmt.Errorf("%w: delivered cursor %d exceeds the snapshot's %d solutions", ErrBadCheckpoint, delivered, snap.UniqueCount())
@@ -179,6 +242,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		delivered: int(delivered),
 		stale:     int(stale),
 		formula:   f,
+		assume:    assume,
 		snap:      snap,
 	}, nil
 }
@@ -235,13 +299,14 @@ func (p *Problem) RestoreSession(ck *Checkpoint, dev tensor.Device) (*Session, e
 // Resume restores a checkpointed session through this compiler: the
 // embedded formula compiles through the content-hash cache (a hit when
 // the artifact is still resident, a fresh compile after a cold restart),
+// specialized under the envelope's assumption set when one is present,
 // then the snapshot restores onto the shared problem. This is the
 // server's re-admission path.
 func (c *Compiler) Resume(ck *Checkpoint, dev tensor.Device) (*Session, error) {
 	if ck == nil {
 		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadCheckpoint)
 	}
-	p, err := c.Compile(ck.formula)
+	p, err := c.CompileAssume(ck.formula, ck.assume)
 	if err != nil {
 		return nil, fmt.Errorf("%w: recompiling embedded formula: %v", ErrBadCheckpoint, err)
 	}
@@ -249,8 +314,9 @@ func (c *Compiler) Resume(ck *Checkpoint, dev tensor.Device) (*Session, error) {
 }
 
 // RestoreSession is the cache-free one-shot resume: decode nothing, share
-// nothing, just recompile the embedded formula and restore. CLI tools use
-// it; services should prefer Compiler.Resume.
+// nothing, just recompile the embedded formula (re-specializing when the
+// envelope carries assumptions) and restore. CLI tools use it; services
+// should prefer Compiler.Resume.
 func RestoreSession(ck *Checkpoint, dev tensor.Device) (*Session, error) {
 	if ck == nil {
 		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadCheckpoint)
@@ -258,6 +324,13 @@ func RestoreSession(ck *Checkpoint, dev tensor.Device) (*Session, error) {
 	p, err := CompileProblem(ck.formula)
 	if err != nil {
 		return nil, fmt.Errorf("%w: recompiling embedded formula: %v", ErrBadCheckpoint, err)
+	}
+	if len(ck.assume) > 0 {
+		cp, err := core.Specialize(p.core, ck.assume)
+		if err != nil {
+			return nil, fmt.Errorf("%w: re-specializing embedded formula: %v", ErrBadCheckpoint, err)
+		}
+		p = &Problem{key: cp.Key(), formula: cp.Formula(), core: cp}
 	}
 	return p.RestoreSession(ck, dev)
 }

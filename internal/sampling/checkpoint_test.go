@@ -396,7 +396,30 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		"p cnf 3 2\n1 2 0\n-1 3 0\n", 4)
 	fresh := buildSeed(SessionConfig{Seed: 4, BatchSize: 64, Device: tensor.Sequential()},
 		"p cnf 2 1\n1 2 0\n", 0)
+	// v2 envelope: a specialized session's checkpoint carries its
+	// assumption block.
+	assumed := func() []byte {
+		p, err := NewCompiler(4).CompileAssume(
+			mustParseCkF(f, "p cnf 3 2\n1 2 0\n-1 3 0\n"), []cnf.Lit{2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		s, err := p.NewSession(SessionConfig{Seed: 6, BatchSize: 64, Device: tensor.Sequential()})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := s.Stream(context.Background(), 2, nil); err != nil {
+			f.Fatal(err)
+		}
+		env, err := s.Checkpoint()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return env
+	}()
 	f.Add(plain)
+	f.Add(assumed)
+	f.Add(assumed[:len(assumed)-3])
 	f.Add(proj)
 	f.Add(round)
 	f.Add(fresh)
@@ -418,7 +441,7 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		if ck.Delivered() > ck.Snapshot().UniqueCount() {
 			t.Fatalf("decoded cursor %d exceeds pool %d", ck.Delivered(), ck.Snapshot().UniqueCount())
 		}
-		if HashFormula(ck.Formula()) != ck.Key() {
+		if cnf.AssumeKey(HashFormula(ck.Formula()), ck.Assumptions()) != ck.Key() {
 			t.Fatal("decoded formula does not hash to the envelope key")
 		}
 	})

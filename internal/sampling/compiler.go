@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/cnf"
@@ -153,6 +154,69 @@ func (c *Compiler) removeLocked(el *list.Element) {
 // across concurrent sessions.
 func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	key := HashFormula(f)
+	return c.getOrBuild(key, func() (*Problem, error) {
+		// Second tier: a peer (or a previous life of this process) may have
+		// already paid for this compile. Decode skips extraction and fusion,
+		// so a disk hit is a small fraction of a compile (see the -exp cache
+		// bench row).
+		if c.store != nil {
+			if prob, ok := c.loadFromStore(key); ok {
+				return prob, nil
+			}
+		}
+		prob, err := compileProblem(f, key)
+		if err == nil {
+			c.writeBack(prob)
+		}
+		return prob, err
+	})
+}
+
+// CompileAssume returns the shared Problem for f specialized under the
+// assumption literals, keyed by cnf.AssumeKey(HashFormula(f), assume). The
+// specialized artifact tiers exactly like a base compile — memory LRU,
+// durable store, single flight — and building it prefers re-specializing
+// the (possibly cached) base artifact over any recompilation: on a store-
+// warm base key the marginal cost is one core.Specialize pass. An empty
+// assumption set is a plain Compile. Invalid assumptions (out of range,
+// contradictory) wrap core.ErrBadAssume.
+func (c *Compiler) CompileAssume(f *cnf.Formula, assume []cnf.Lit) (*Problem, error) {
+	canon := cnf.CanonicalAssume(assume)
+	if len(canon) == 0 {
+		return c.Compile(f)
+	}
+	if err := cnf.ValidateAssumptions(f.NumVars, canon); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadAssume, err)
+	}
+	key := cnf.AssumeKey(HashFormula(f), canon)
+	return c.getOrBuild(key, func() (*Problem, error) {
+		if c.store != nil {
+			if prob, ok := c.loadFromStore(key); ok {
+				return prob, nil
+			}
+		}
+		// Resolve the base artifact through the normal tiers (memory →
+		// store → compile; its key differs from ours, so no deadlock), then
+		// specialize it. The specialized problem is written back under its
+		// own key so peers skip even the specialize pass.
+		base, err := c.Compile(f)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := core.Specialize(base.core, canon)
+		if err != nil {
+			return nil, err
+		}
+		prob := &Problem{key: key, formula: cp.Formula(), core: cp}
+		c.writeBack(prob)
+		return prob, nil
+	})
+}
+
+// getOrBuild is the single-flight cache core shared by Compile and
+// CompileAssume: one builder per key per cache residency, everyone else
+// waits on the same entry.
+func (c *Compiler) getOrBuild(key string, build func() (*Problem, error)) (*Problem, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -169,26 +233,7 @@ func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	c.evictLocked(el)
 	c.mu.Unlock()
 
-	// Second tier: a peer (or a previous life of this process) may have
-	// already paid for this compile. Decode skips extraction and fusion,
-	// so a disk hit is a small fraction of a compile (see the -exp cache
-	// bench row). Still single-flight: the in-flight entry above is
-	// already registered, so concurrent callers wait on it either way.
-	var prob *Problem
-	var err error
-	if c.store != nil {
-		prob, _ = c.loadFromStore(key)
-	}
-	if prob == nil {
-		prob, err = compileProblem(f, key)
-		if err == nil && c.store != nil {
-			// Best-effort write-back: a full store or unwritable directory
-			// degrades to compile-every-time, it never fails the request.
-			if blob, merr := prob.core.MarshalBinary(); merr == nil {
-				c.store.Put(key, blob)
-			}
-		}
-	}
+	prob, err := build()
 
 	c.mu.Lock()
 	e.prob, e.err = prob, err
@@ -216,6 +261,18 @@ func (c *Compiler) Compile(f *cnf.Formula) (*Problem, error) {
 	c.mu.Unlock()
 	close(e.ready)
 	return prob, err
+}
+
+// writeBack persists a compiled (or specialized) artifact to the durable
+// tier, best-effort: a full store or unwritable directory degrades to
+// compile-every-time, it never fails the request. No-op without a store.
+func (c *Compiler) writeBack(p *Problem) {
+	if c.store == nil {
+		return
+	}
+	if blob, err := p.core.MarshalBinary(); err == nil {
+		c.store.Put(p.key, blob)
+	}
 }
 
 // residentEstimate approximates the bytes a cached Problem keeps resident:
@@ -258,6 +315,39 @@ func (c *Compiler) Lookup(key string) (prob *Problem, ok bool) {
 		return nil, false
 	}
 	return e.prob, true
+}
+
+// LookupAssume resolves a specialized Problem from a base content-hash key
+// plus assumption literals without requiring the formula body — the
+// ?key=&assume= fast path. Resolution order: the specialized key through
+// both tiers (a hit means some request already validated these pins), then
+// the base key through both tiers followed by a fresh specialize, which is
+// installed in memory and written back to the store under the specialized
+// key. ok == false with a nil error means neither key resolved (a miss the
+// server maps to 404); a non-nil error wraps core.ErrBadAssume — the base
+// artifact exists but the assumptions are invalid for it (a 400).
+func (c *Compiler) LookupAssume(baseKey string, assume []cnf.Lit) (*Problem, bool, error) {
+	canon := cnf.CanonicalAssume(assume)
+	if len(canon) == 0 {
+		p, ok := c.Lookup(baseKey)
+		return p, ok, nil
+	}
+	specKey := cnf.AssumeKey(baseKey, canon)
+	if p, ok := c.Lookup(specKey); ok {
+		return p, true, nil
+	}
+	base, ok := c.Lookup(baseKey)
+	if !ok {
+		return nil, false, nil
+	}
+	cp, err := core.Specialize(base.core, canon)
+	if err != nil {
+		return nil, false, err
+	}
+	prob := &Problem{key: specKey, formula: cp.Formula(), core: cp}
+	c.installLoaded(specKey, prob)
+	c.writeBack(prob)
+	return prob, true, nil
 }
 
 // loadFromStore tries the durable tier for one key, counting the outcome.

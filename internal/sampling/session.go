@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/cnf"
@@ -9,6 +10,19 @@ import (
 	"repro/internal/extract"
 	"repro/internal/tensor"
 )
+
+// litsEqual reports element-wise equality of two literal slices.
+func litsEqual(a, b []cnf.Lit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Problem is the immutable, shareable compiled form of one CNF: the
 // formula, its extraction result, and the core compiled artifact (fused
@@ -34,6 +48,10 @@ func (p *Problem) Core() *core.Problem { return p.core }
 
 // NumInputs returns the primary-input count of the learned function.
 func (p *Problem) NumInputs() int { return p.core.NumInputs() }
+
+// Assumptions returns the canonical assumption literals this problem was
+// specialized under (nil for an unspecialized problem).
+func (p *Problem) Assumptions() []cnf.Lit { return p.core.Assumptions() }
 
 // SessionConfig configures one sampling session. The GD fields mirror
 // core.Config (zero values take the same defaults); the service-level
@@ -78,12 +96,36 @@ type SessionConfig struct {
 	// ClauseWeights scales each CNF clause's contribution to the GD loss
 	// (nil = uniform); see core.Config.ClauseWeights.
 	ClauseWeights []float64
+	// Assumptions pins literals for this session (every streamed solution
+	// satisfies them). The normal serving path resolves assumptions into a
+	// specialized Problem before session creation (Compiler.CompileAssume /
+	// LookupAssume), in which case this field must equal the problem's own
+	// assumption set (or be nil — the problem's pins always apply). On an
+	// unspecialized problem, a non-empty set triggers a one-shot
+	// core.Specialize scoped to this session — correct but uncached; prefer
+	// the compiler paths for serving.
+	Assumptions []cnf.Lit
 }
 
 // NewSession builds a sampling session over this problem. Sessions are
 // cheap — no transformation or engine compilation happens here — so a
 // service can create one per request.
 func (p *Problem) NewSession(cfg SessionConfig) (*Session, error) {
+	if len(cfg.Assumptions) > 0 {
+		canon := cnf.CanonicalAssume(cfg.Assumptions)
+		switch have := p.core.Assumptions(); {
+		case litsEqual(canon, have):
+			// Already specialized under exactly these pins.
+		case len(have) == 0:
+			cp, err := core.Specialize(p.core, canon)
+			if err != nil {
+				return nil, err
+			}
+			p = &Problem{key: cp.Key(), formula: cp.Formula(), core: cp}
+		default:
+			return nil, fmt.Errorf("sampling: session assumptions %v do not match problem assumptions %v (resolve through Compiler.CompileAssume)", canon, have)
+		}
+	}
 	coreCfg := core.Config{
 		BatchSize:     cfg.BatchSize,
 		Iterations:    cfg.Iterations,

@@ -468,15 +468,27 @@ func isTerminal(err error) bool {
 	return errors.As(err, &se)
 }
 
-// headerRetryAfter parses the delay-seconds form of Retry-After (the only
-// form satserved emits).
+// headerRetryAfter parses Retry-After in both RFC 9110 forms: delay-
+// seconds (the form satserved emits) and HTTP-date (what proxies and
+// gateways in front of a fleet commonly rewrite it to). A negative delay
+// or a date already in the past clamps to zero — retry immediately — and
+// anything unparseable is treated as absent so the client's own backoff
+// floor applies.
 func headerRetryAfter(resp *http.Response) time.Duration {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
 	}
 	return 0
 }

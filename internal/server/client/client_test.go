@@ -58,6 +58,74 @@ func TestSampleRetriesShedWithRetryAfter(t *testing.T) {
 	}
 }
 
+// TestHeaderRetryAfter: both RFC 9110 forms parse — delay-seconds and
+// HTTP-date — with negative and already-past values clamped to zero and
+// garbage treated as absent.
+func TestHeaderRetryAfter(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		name     string
+		value    string
+		min, max time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "7", 7 * time.Second, 7 * time.Second},
+		{"zero-seconds", "0", 0, 0},
+		{"negative-seconds", "-3", 0, 0},
+		{"http-date-future", now.Add(90 * time.Second).UTC().Format(http.TimeFormat), 80 * time.Second, 91 * time.Second},
+		{"http-date-past", now.Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+		// RFC 850 and ANSI C asctime are the other two dates http.ParseTime speaks.
+		{"rfc850-future", now.Add(90 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 MST"), 80 * time.Second, 91 * time.Second},
+		{"asctime-future", now.Add(90 * time.Second).UTC().Format(time.ANSIC), 80 * time.Second, 91 * time.Second},
+		{"garbage", "soon", 0, 0},
+		{"float", "2.5", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.value != "" {
+				resp.Header.Set("Retry-After", tc.value)
+			}
+			got := headerRetryAfter(resp)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("headerRetryAfter(%q) = %v, want in [%v, %v]", tc.value, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestSampleRetriesShedWithRetryAfterDate: the server advertising the
+// HTTP-date form gets the same honored backoff floor as delay-seconds.
+func TestSampleRetriesShedWithRetryAfterDate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 1 {
+			w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		writeStream(w,
+			`{"type":"meta","key":"k","batch":64,"target":1}`,
+			`{"type":"solution","assignment":"01"}`,
+			`{"type":"done","unique":1,"delivered":1}`)
+	}))
+	defer ts.Close()
+	var waits []time.Duration
+	c := New(ts.URL, Config{Sleep: fastSleep(&waits)})
+	res, err := c.Sample(context.Background(), Request{DIMACS: "p cnf 2 1\n1 2 0\n", Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Retries != 1 {
+		t.Fatalf("solutions=%d retries=%d, want 1/1", len(res.Solutions), res.Retries)
+	}
+	// The date resolves to ~30s out; clock skew during the test only
+	// shrinks it, never past the 25s floor checked here.
+	if len(waits) != 1 || waits[0] < 25*time.Second {
+		t.Fatalf("backoff %v ignores the HTTP-date Retry-After floor", waits)
+	}
+}
+
 // TestSampleFollowsResumeToken: a drained stream is transparently
 // re-attached via its token and the solutions accumulate exactly once.
 func TestSampleFollowsResumeToken(t *testing.T) {

@@ -52,6 +52,10 @@ const (
 	outcomeDraining   = "draining"
 	outcomeCancelled  = "cancelled" // client gone before a stream started
 	outcomeStreamErr  = "stream_error"
+	// unsat_assume: the bounded SAT precheck proved the formula has no
+	// models under the request's ?assume= pins — a clean 409, not a
+	// stream that trickles out empty.
+	outcomeUnsatAssume = "unsat_assume"
 )
 
 func (m *metrics) request(outcome string) {

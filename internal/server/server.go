@@ -51,8 +51,10 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/sampling"
+	"repro/internal/sat"
 	"repro/internal/store"
 	"repro/internal/tensor"
 )
@@ -443,6 +445,66 @@ func parseProjectionSpec(spec string) ([]int, error) {
 	return cnf.ParseProjectionList(spec)
 }
 
+// parseAssumeSpec reads a ?assume= value: either a JSON array of signed
+// DIMACS literals ("[1,-4]") or the comma-separated list satsample's
+// -assume flag also speaks (shared cnf.ParseAssumeList). Syntax only —
+// range and contradiction validation happens once the formula's variable
+// count is known (cnf.ValidateAssumptions, via CompileAssume/
+// LookupAssume).
+func parseAssumeSpec(spec string) ([]cnf.Lit, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "[") {
+		var raw []int
+		if err := json.Unmarshal([]byte(spec), &raw); err != nil {
+			return nil, fmt.Errorf("bad assumption JSON: %v", err)
+		}
+		lits := make([]cnf.Lit, len(raw))
+		for i, v := range raw {
+			if v == 0 {
+				return nil, fmt.Errorf("bad assumption literal 0")
+			}
+			lits[i] = cnf.Lit(v)
+		}
+		return lits, nil
+	}
+	return cnf.ParseAssumeList(spec)
+}
+
+// litsEqual reports whether two canonical literal slices are identical.
+func litsEqual(a, b []cnf.Lit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// litInts renders assumption literals as plain ints for the meta line.
+func litInts(lits []cnf.Lit) []int {
+	if len(lits) == 0 {
+		return nil
+	}
+	out := make([]int, len(lits))
+	for i, l := range lits {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// assumePrecheckConflicts bounds the CDCL precheck that rejects
+// UNSAT-under-assumptions requests before a session is priced and queued.
+// The bound keeps the precheck cheap on hard instances: when the solver
+// exhausts it (Unknown), the request proceeds and the sampler simply
+// streams whatever the conditioned space holds — possibly nothing.
+const assumePrecheckConflicts = 20000
+
 // metaLine opens every sampling stream: the problem's cache key (usable
 // for later submit-by-key requests), the GD batch the session runs, the
 // effective target, the projection width (0 = full assignment), and how
@@ -453,6 +515,7 @@ type metaLine struct {
 	Batch         int     `json:"batch"`
 	Target        int     `json:"target"`
 	ProjectedVars int     `json:"projected_vars,omitempty"`
+	Assumptions   []int   `json:"assumptions,omitempty"` // canonical pinned literals (specialized streams)
 	Resumed       bool    `json:"resumed,omitempty"`
 	Delivered     int     `json:"delivered,omitempty"` // solutions already delivered before this request (resume)
 	QueueMS       float64 `json:"queue_ms"`
@@ -610,6 +673,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.errorBody(w, http.StatusBadRequest, perr.Error(), outcomeBadRequest, "")
 		return
 	}
+	// ?assume= pins literals for this request: the compiled artifact is
+	// re-specialized (never recompiled) under the pins and the session
+	// streams only solutions agreeing with them. The specialized artifact
+	// is cached and stored under cnf.AssumeKey(baseKey, pins), so repeat
+	// assumption sets are memory hits.
+	assume, aerr := parseAssumeSpec(r.URL.Query().Get("assume"))
+	if aerr != nil {
+		s.errorBody(w, http.StatusBadRequest, aerr.Error(), outcomeBadRequest, "")
+		return
+	}
+	assume = cnf.CanonicalAssume(assume)
 
 	// ?resume= re-admits a checkpointed session from the spool: the token
 	// is one-shot, its envelope self-contained (formula included), and the
@@ -652,11 +726,21 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// compile) bypass it.
 	var prob *sampling.Problem
 	if ck != nil {
+		// The envelope's assumption set is authoritative: a redundant
+		// ?assume= must agree with it (the sharded edge repeats the query
+		// so the resume routes to the specialized key's owner).
+		if len(assume) > 0 && !litsEqual(assume, ck.Assumptions()) {
+			reSpool()
+			s.errorBody(w, http.StatusBadRequest,
+				"assume does not match the resume envelope's assumption set", outcomeBadRequest, "")
+			return
+		}
 		if p, ok := s.compiler.Lookup(ck.Key()); ok {
 			prob = p
 		} else {
 			// Cold cache (typically: the process restarted between the
-			// checkpoint and the resume) — recompile from the envelope.
+			// checkpoint and the resume) — recompile from the envelope,
+			// re-specializing when it carries assumptions.
 			select {
 			case s.compileGate <- struct{}{}:
 			case <-r.Context().Done():
@@ -664,7 +748,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 				s.met.request(outcomeCancelled)
 				return
 			}
-			p, err := s.compiler.Compile(ck.Formula())
+			p, err := s.compiler.CompileAssume(ck.Formula(), ck.Assumptions())
 			<-s.compileGate
 			if err != nil {
 				s.errorBody(w, http.StatusBadRequest, "resume compile: "+err.Error(), outcomeBadRequest, "")
@@ -673,7 +757,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			prob = p
 		}
 	} else if key := r.URL.Query().Get("key"); key != "" {
-		p, ok := s.compiler.Lookup(key)
+		p, ok, err := s.compiler.LookupAssume(key, assume)
+		if errors.Is(err, core.ErrBadAssume) {
+			// The base artifact exists but the pins are invalid for it —
+			// the client's error, not a cache miss.
+			s.errorBody(w, http.StatusBadRequest, err.Error(), outcomeBadRequest, "")
+			return
+		}
+		if err != nil {
+			s.errorBody(w, http.StatusInternalServerError, err.Error(), outcomeStreamErr, "")
+			return
+		}
 		if !ok {
 			s.errorBody(w, http.StatusNotFound, "unknown problem key", outcomeNotFound, "")
 			return
@@ -715,7 +809,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			}
 			f.Projection = projection
 		}
-		if p, ok := s.compiler.Lookup(sampling.HashFormula(f)); ok {
+		// With pins the cache identity shifts to the specialized key; the
+		// warm probe looks there so repeat assumption sets bypass both
+		// gates exactly like repeat formulas do.
+		probeKey := sampling.HashFormula(f)
+		if len(assume) > 0 {
+			probeKey = cnf.AssumeKey(probeKey, assume)
+		}
+		if p, ok := s.compiler.Lookup(probeKey); ok {
 			<-s.parseGate
 			prob = p
 		} else {
@@ -731,13 +832,27 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 				s.met.request(outcomeCancelled)
 				return
 			}
-			p, err := s.compiler.Compile(f)
+			p, err := s.compiler.CompileAssume(f, assume)
 			<-s.compileGate
 			if err != nil {
 				s.errorBody(w, http.StatusBadRequest, "compile: "+err.Error(), outcomeBadRequest, "")
 				return
 			}
 			prob = p
+		}
+	}
+
+	// UNSAT-under-assumptions precheck: a bounded CDCL probe on the base
+	// formula rejects contradictory pin sets with a typed error before the
+	// session is priced and queued. Unknown (conflict budget exhausted)
+	// admits the request — the stream then honestly reports zero solutions
+	// if the space is empty.
+	if ck == nil && len(prob.Assumptions()) > 0 {
+		sv := sat.NewSolver(prob.Formula(), sat.Options{MaxConflicts: assumePrecheckConflicts})
+		if st := sv.SolveAssume(prob.Assumptions()...); st == sat.Unsat {
+			s.errorBody(w, http.StatusConflict,
+				"formula is unsatisfiable under the given assumptions", outcomeUnsatAssume, "")
+			return
 		}
 	}
 
@@ -863,6 +978,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if err := writeLine(metaLine{
 		Type: "meta", Key: prob.Key(), Batch: batch, Target: target,
 		ProjectedVars: projVars,
+		Assumptions:   litInts(prob.Assumptions()),
 		Resumed:       ck != nil,
 		Delivered:     sess.Delivered(),
 		QueueMS:       float64(queueWait.Microseconds()) / 1e3,

@@ -38,6 +38,7 @@ type streamLine struct {
 	ResumeAddr    string  `json:"resume_addr"`
 	Preempted     bool    `json:"preempted"`
 	Preemptions   int     `json:"preemptions"`
+	Assumptions   []int   `json:"assumptions"`
 }
 
 type stream struct {

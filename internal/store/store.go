@@ -221,7 +221,17 @@ func (s *Store) scan() []entry {
 		}
 		out = append(out, entry{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].mtime < out[j].mtime })
+	// Filesystem mtimes are coarse (a second on some filesystems), so a
+	// burst of writes produces ties; break them on the key so the eviction
+	// order is deterministic across replicas scanning the same directory,
+	// and keep the sort stable so equal entries never reorder between
+	// scans.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].mtime != out[j].mtime {
+			return out[i].mtime < out[j].mtime
+		}
+		return out[i].key < out[j].key
+	})
 	return out
 }
 

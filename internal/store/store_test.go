@@ -157,6 +157,46 @@ func TestStoreEvictsOldestFirst(t *testing.T) {
 	}
 }
 
+// TestStoreScanStableOnEqualMtimes: coarse filesystem timestamps make
+// mtime ties common under write bursts; the scan must order tied entries
+// deterministically (by key) so every replica scanning a shared directory
+// evicts the same blob, instead of sort.Slice's unspecified tie order.
+func TestStoreScanStableOnEqualMtimes(t *testing.T) {
+	s := openTest(t, 0)
+	blob := sealed([]byte("tied"))
+	keys := []string{keyFor("c"), keyFor("a"), keyFor("b"), keyFor("d")}
+	when := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, k := range keys {
+		if err := s.Put(k, blob); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(filepath.Join(s.Dir(), k+blobExt), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.scan()
+	if len(want) != len(keys) {
+		t.Fatalf("scan found %d entries, want %d", len(want), len(keys))
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i-1].mtime == want[i].mtime && want[i-1].key >= want[i].key {
+			t.Fatalf("tied entries out of key order at %d: %s >= %s",
+				i, want[i-1].key[:12], want[i].key[:12])
+		}
+	}
+	// Repeated scans must agree exactly — the property sort.Slice on the
+	// mtime alone did not provide.
+	for rep := 0; rep < 5; rep++ {
+		got := s.scan()
+		for i := range want {
+			if got[i].key != want[i].key {
+				t.Fatalf("scan %d reordered tied entries at %d: %s vs %s",
+					rep, i, got[i].key[:12], want[i].key[:12])
+			}
+		}
+	}
+}
+
 // TestStoreSharedDirectory: two Store handles over one directory — the
 // multi-replica arrangement behind satsharded — see each other's writes
 // immediately and agree on stats, with no in-memory index to go stale.
